@@ -1,0 +1,88 @@
+// Ablation: checkpoint-count policy.
+//
+// The paper's Eq. 2 sets C = MTBF / T_IO (MTBF = half the run time), which
+// is dimensionally odd — Young's classical interval tau = sqrt(2*MTBF*T_IO)
+// is the textbook optimum.  This bench compares both policies across disk
+// write latencies spanning Raijin (0.03 s) to slower-than-OPL (10 s): the
+// chosen C, the total checkpoint write cost, and the recovery cost of one
+// lost grid.
+
+#include "bench_common.hpp"
+#include "core/ft_app.hpp"
+#include "recovery/checkpoint.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+using ftr::comb::Technique;
+
+namespace {
+
+struct Outcome {
+  long c = 0;
+  double write_total = 0;
+  double recovery = 0;
+};
+
+Outcome run_cr(const BenchEnv& env, long checkpoints) {
+  AppConfig cfg;
+  cfg.layout.scheme = comb::Scheme{env.n, env.l};
+  cfg.layout.technique = Technique::CheckpointRestart;
+  cfg.layout.procs_diagonal = 8;
+  cfg.layout.procs_lower = 4;
+  cfg.timesteps = env.timesteps;
+  cfg.checkpoints = checkpoints;
+  cfg.failures.simulated_lost_grids = {1};
+
+  ftmpi::Runtime rt(env.runtime_options());
+  FtApp app(cfg);
+  app.launch(rt);
+  return Outcome{checkpoints, rt.get(keys::kCkptWriteTotal, 0),
+                 rt.get(keys::kRecoveryTime, 0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+
+  // Failure-free probe to estimate the run time both policies need.
+  double app_time = 0;
+  {
+    AppConfig cfg;
+    cfg.layout.scheme = comb::Scheme{env.n, env.l};
+    cfg.layout.technique = Technique::CheckpointRestart;
+    cfg.layout.procs_diagonal = 8;
+    cfg.layout.procs_lower = 4;
+    cfg.timesteps = env.timesteps;
+    cfg.checkpoints = 1;
+    ftmpi::Runtime rt(env.runtime_options());
+    FtApp app(cfg);
+    app.launch(rt);
+    app_time = rt.get(keys::kTotalTime, 1.0);
+  }
+
+  Table table({"T_IO(s)", "C_eq2", "C_young", "eq2_writes+rec(s)", "young_writes+rec(s)"});
+  for (double t_io : {0.03, 0.35, 3.52, 10.0}) {
+    BenchEnv e = env;
+    e.profile.cost.disk_write_latency = t_io;
+    e.profile.cost.disk_read_latency = t_io / 10.0;
+    const long max_c = std::max<long>(env.timesteps / 4, 1);
+    const long c_eq2 =
+        rec::CheckpointPolicy{rec::CheckpointPolicy::Kind::PaperEq2}.count(app_time, t_io,
+                                                                           max_c);
+    const long c_young =
+        rec::CheckpointPolicy{rec::CheckpointPolicy::Kind::Young}.count(app_time, t_io,
+                                                                        max_c);
+    const Outcome eq2 = run_cr(e, c_eq2);
+    const Outcome young = run_cr(e, c_young);
+    table.add_row({Table::num(t_io, 3), Table::num(c_eq2), Table::num(c_young),
+                   Table::num(eq2.write_total + eq2.recovery),
+                   Table::num(young.write_total + young.recovery)});
+  }
+  emit(table, env,
+       "Ablation: checkpoint count policy (paper Eq. 2 vs Young) across disk latencies; "
+       "estimated app time " + Table::num(app_time) + " s");
+  return 0;
+}

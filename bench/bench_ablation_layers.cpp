@@ -1,0 +1,89 @@
+// Ablation: how many extra layers does the Alternate Combination need?
+//
+// The paper uses two extra layers of coarser sub-grids.  This bench sweeps
+// 0..3 extra layers and, for 1..4 random losses among the combination
+// grids, reports (a) the fraction of loss patterns whose general
+// coefficient problem is feasible with that window and (b) the mean l1
+// error of the alternate combination over the feasible patterns.
+// Everything is computed serially (no simulated cluster needed): the grids
+// are solved once per window and reused across patterns.
+//
+// Expected outcome: two extra layers make every 1- and 2-loss pattern
+// feasible (they are guaranteed to: losses on the two combination layers
+// move coefficients at most two layers down); more layers buy feasibility
+// for heavier loss patterns at extra compute cost.
+
+#include <map>
+
+#include "advection/serial_solver.hpp"
+#include "bench_common.hpp"
+#include "combination/coefficients.hpp"
+#include "combination/combine.hpp"
+#include "common/rng.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using ftr::comb::CoefficientProblem;
+using ftr::comb::Scheme;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const int patterns = static_cast<int>(cli.get_int("patterns", 30));
+  const Scheme s{env.n, env.l};
+  const advection::Problem prob{1.0, 0.5};
+  const double dt = advection::stable_timestep(s.n, prob, 0.8);
+  const long steps = std::min<long>(env.timesteps, 64);
+  const double t_final = static_cast<double>(steps) * dt;
+
+  // Solve every grid of the deepest window once.
+  std::map<std::pair<int, int>, Grid2D> solution;
+  for (int depth = 0; depth <= 4; ++depth) {
+    for (const Level& lv : s.layer(depth)) {
+      advection::SerialSolver solver(lv, prob, dt);
+      solver.run(steps);
+      solution.emplace(std::pair{lv.x, lv.y}, solver.grid());
+    }
+  }
+  const auto combo = s.combination_levels();
+  Xoshiro256 rng(static_cast<uint64_t>(cli.get_int("seed", 5)));
+
+  Table table({"extra_layers", "lost", "feasible_frac", "mean_l1_error"});
+  for (int extra = 0; extra <= 3; ++extra) {
+    const CoefficientProblem problem(s, 1 + extra);
+    for (int lost_count = 1; lost_count <= 4; ++lost_count) {
+      int feasible = 0;
+      double err_sum = 0;
+      for (int p = 0; p < patterns; ++p) {
+        // Random distinct losses among the combination grids.
+        std::vector<Level> pool = combo;
+        std::vector<Level> lost;
+        for (int k = 0; k < lost_count && !pool.empty(); ++k) {
+          const size_t idx = rng.bounded(pool.size());
+          lost.push_back(pool[idx]);
+          pool.erase(pool.begin() + static_cast<long>(idx));
+        }
+        const auto set = problem.solve(lost);
+        if (!set.has_value()) continue;
+        ++feasible;
+        std::vector<comb::Component> parts;
+        for (size_t i = 0; i < set->levels.size(); ++i) {
+          parts.push_back(
+              {&solution.at({set->levels[i].x, set->levels[i].y}), set->coeffs[i]});
+        }
+        const Grid2D combined = comb::combine_full(s, parts);
+        err_sum += grid::l1_error(
+            combined, [&](double x, double y) { return prob.exact(x, y, t_final); });
+      }
+      table.add_row({Table::num(static_cast<long>(extra)),
+                     Table::num(static_cast<long>(lost_count)),
+                     Table::num(static_cast<double>(feasible) / patterns, 3),
+                     feasible ? Table::num(err_sum / feasible, 5) : "-"});
+    }
+  }
+  emit(table, env, "Ablation: Alternate Combination extra-layer count "
+                   "(feasibility and accuracy vs losses)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: cost-model sensitivity of the repair pipeline.
+//
+// Table I's shape in this reproduction is driven by two modeled knobs
+// (DESIGN.md §5): the per-member RTE wire-up cost of spawn
+// (spawn_setup_per_proc) and the per-participant consensus cost of
+// shrink/agree (consensus_cost_per_proc).  This bench sweeps both an order
+// of magnitude around their defaults at a fixed core count and reports the
+// primitive times, making explicit which knob controls which column — and
+// that the qualitative ordering (spawn > shrink > agree >> merge) is robust
+// across the sweep.
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "core/reconstruct.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+
+namespace {
+
+struct Sample {
+  double spawn = 0, shrink = 0, agree = 0, merge = 0;
+};
+
+Sample measure(ftmpi::Runtime::Options opts, int procs, int failures) {
+  ftmpi::Runtime rt(opts);
+  std::atomic<double> spawn{0}, shrink{0}, agree{0}, merge{0};
+  rt.register_app("app", [&](const std::vector<std::string>& argv) {
+    Reconstructor recon({"app", argv});
+    if (!ftmpi::get_parent().is_null()) {
+      recon.reconstruct({});
+      return;
+    }
+    ftmpi::Comm w = ftmpi::world();
+    if (w.rank() >= procs - failures) ftmpi::abort_self();
+    const auto res = recon.reconstruct(w);
+    if (w.rank() == 0) {
+      spawn = res.timings.spawn;
+      shrink = res.timings.shrink;
+      agree = res.timings.agree;
+      merge = res.timings.merge;
+    }
+  });
+  rt.run("app", procs);
+  return Sample{spawn.load(), shrink.load(), agree.load(), merge.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const int procs = static_cast<int>(cli.get_int("cores", 76));
+  const int failures = static_cast<int>(cli.get_int("failures", 2));
+
+  Table table({"spawn_setup/proc", "consensus/proc", "spawn(s)", "shrink(s)", "agree(s)",
+               "merge(s)"});
+  for (double spawn_setup : {3.0e-4, 3.0e-3, 3.0e-2}) {
+    for (double consensus : {1.0e-5, 1.0e-4, 1.0e-3}) {
+      auto opts = env.runtime_options(/*scale_compute=*/false);
+      opts.cost.spawn_setup_per_proc = spawn_setup;
+      opts.cost.consensus_cost_per_proc = consensus;
+      const Sample s = measure(opts, procs, failures);
+      table.add_row({Table::num(spawn_setup, 2), Table::num(consensus, 2),
+                     Table::num(s.spawn), Table::num(s.shrink), Table::num(s.agree),
+                     Table::num(s.merge)});
+    }
+  }
+  emit(table, env,
+       "Ablation: repair-pipeline cost-model sensitivity at " + std::to_string(procs) +
+           " cores, " + std::to_string(failures) + " failures");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 11 reproduction: overall execution time (a) and parallel efficiency
+// (b) of the fault-tolerant application versus the number of cores, for
+// zero, one and two *real* process failures and all three techniques.
+//
+// The core count is swept by scaling the per-grid process allocation
+// (base 8/4/2/1, scaled x1, x2, x4), which at l = 4 gives the paper-like
+// ladder 44/88/176 (CR), 76/152/304 (RC) and 49/98/196 (AC).
+//
+// Expected shape: CR is the most costly at every core count, AC the least;
+// AC and RC stay above ~80% parallel efficiency without failures; repair
+// costs degrade the multi-failure runs.  Efficiency is relative to each
+// technique's smallest configuration: eff = (T1 * P1) / (T * P).
+
+#include "bench_common.hpp"
+#include "core/failure_gen.hpp"
+#include "core/ft_app.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+using ftr::comb::Technique;
+
+namespace {
+
+LayoutConfig scaled_layout(const BenchEnv& env, Technique t, int scale) {
+  LayoutConfig cfg;
+  cfg.scheme = comb::Scheme{env.n, env.l};
+  cfg.technique = t;
+  cfg.procs_diagonal = 8 * scale;
+  cfg.procs_lower = 4 * scale;
+  cfg.procs_extra_upper = 2 * scale;
+  cfg.procs_extra_lower = 1 * scale;
+  return cfg;
+}
+
+struct Point {
+  int procs = 0;
+  double time = 0;
+};
+
+Point run_once(const BenchEnv& env, Technique t, int scale, int failures,
+               ftr::Xoshiro256& rng) {
+  AppConfig cfg;
+  cfg.layout = scaled_layout(env, t, scale);
+  cfg.timesteps = env.timesteps;
+  cfg.checkpoints = 3;
+  const Layout layout = build_layout(cfg.layout);
+  if (failures > 0) {
+    cfg.failures = random_real_failures(layout, failures, env.timesteps, rng);
+  }
+  ftmpi::Runtime rt(env.runtime_options());
+  FtApp app(cfg);
+  app.launch(rt);
+  return Point{layout.total_procs, rt.get(keys::kTotalTime, std::nan(""))};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const auto scales = cli.get_int_list("scales", {1, 2, 4});
+  const auto failure_counts = cli.get_int_list("failures", {0, 1, 2});
+  ftr::Xoshiro256 rng(static_cast<uint64_t>(cli.get_int("seed", 7)));
+
+  Table time_table({"technique", "failures", "cores", "time(s)", "efficiency"});
+  for (const Technique t : {Technique::CheckpointRestart, Technique::ResamplingCopying,
+                            Technique::AlternateCombination}) {
+    for (long failures : failure_counts) {
+      double base_tp = std::nan("");
+      for (long scale : scales) {
+        std::vector<double> times;
+        int procs = 0;
+        for (int rep = 0; rep < env.reps; ++rep) {
+          const Point p =
+              run_once(env, t, static_cast<int>(scale), static_cast<int>(failures), rng);
+          times.push_back(p.time);
+          procs = p.procs;
+        }
+        const double avg = mean(times);
+        if (std::isnan(base_tp)) base_tp = avg * procs;
+        const double eff = base_tp / (avg * procs);
+        time_table.add_row({comb::technique_tag(t), Table::num(failures),
+                            Table::num(static_cast<long>(procs)), Table::num(avg),
+                            Table::num(eff, 3)});
+      }
+    }
+  }
+  emit(time_table, env,
+       "Fig. 11: overall execution time (a) and parallel efficiency (b) vs cores");
+  return 0;
+}

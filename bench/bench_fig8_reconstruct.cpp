@@ -1,0 +1,79 @@
+// Fig. 8 reproduction: wall time for (a) creating the list of failed
+// processes and (b) reconstructing the faulty communicator, as a function
+// of the number of cores, for one and two real process failures.
+//
+// Paper setup: OPL cluster, level l = 4, full grid size n = 13; cores swept
+// over the Table I ladder (19, 38, 76, 152, 304).  Expected shape: both
+// times grow with the core count, and the two-failure case costs
+// disproportionately more than the one-failure case.
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "core/layout.hpp"
+#include "core/reconstruct.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+
+namespace {
+
+struct Sample {
+  double failed_list = 0;
+  double reconstruct = 0;
+};
+
+/// One measurement: launch `procs` ranks, kill `failures` of them, run the
+/// paper's communicatorReconstruct, and report rank 0's timings.
+Sample measure(const BenchEnv& env, int procs, int failures) {
+  ftmpi::Runtime rt(env.runtime_options(/*scale_compute=*/false));
+  std::atomic<double> t_list{0}, t_total{0};
+  rt.register_app("app", [&](const std::vector<std::string>& argv) {
+    Reconstructor recon({"app", argv});
+    if (!ftmpi::get_parent().is_null()) {
+      recon.reconstruct({});
+      return;
+    }
+    ftmpi::Comm w = ftmpi::world();
+    // Kill the last `failures` ranks (never rank 0).
+    const int r = w.rank();
+    if (r >= procs - failures) ftmpi::abort_self();
+    const auto res = recon.reconstruct(w);
+    if (r == 0) {
+      t_list = res.timings.failed_list;
+      t_total = res.timings.total;
+    }
+  });
+  rt.run("app", procs);
+  return Sample{t_list.load(), t_total.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const auto cores = cli.get_int_list("cores", {19, 38, 76, 152, 304});
+
+  Table table({"cores", "list_1fail(s)", "list_2fail(s)", "reconstruct_1fail(s)",
+               "reconstruct_2fail(s)"});
+  for (long procs : cores) {
+    std::vector<double> l1, l2, r1, r2;
+    for (int rep = 0; rep < env.reps; ++rep) {
+      const Sample one = measure(env, static_cast<int>(procs), 1);
+      const Sample two = measure(env, static_cast<int>(procs), 2);
+      l1.push_back(one.failed_list);
+      l2.push_back(two.failed_list);
+      r1.push_back(one.reconstruct);
+      r2.push_back(two.reconstruct);
+    }
+    table.add_row({Table::num(procs), Table::num(mean(l1)), Table::num(mean(l2)),
+                   Table::num(mean(r1)), Table::num(mean(r2))});
+  }
+  emit(table, env,
+       "Fig. 8: failed-process list creation (a) and communicator reconstruction (b) "
+       "times vs cores, 1 and 2 real failures");
+  return 0;
+}

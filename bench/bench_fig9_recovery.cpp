@@ -1,0 +1,168 @@
+// Fig. 9 reproduction: failed-grid data recovery overhead (a) and
+// process-time data recovery overhead (b) for the three techniques, as the
+// number of lost grids grows from 1 to 5.  Losses are simulated (the
+// paper's Fig. 9 mode), so no communicator reconstruction time is included.
+//
+// Raw overheads (Fig. 9a):
+//   CR: all checkpoint writes + reading the recent checkpoint + recompute;
+//   RC: copying and/or resampling time;
+//   AC: combination-coefficient computation time only.
+// Process-time overheads (Fig. 9b) apply the paper's Sec. III-B formulas,
+// normalizing by the extra processes RC (duplicates) and AC (extra layers)
+// consume.  Expected shape: CR worst / AC best on the OPL profile
+// (T_IO = 3.52 s); CR best on the Raijin profile (T_IO = 0.03 s); recovery
+// time nearly independent of the number of lost grids.
+
+#include "bench_common.hpp"
+#include "combination/coefficients.hpp"
+#include "core/failure_gen.hpp"
+#include "core/ft_app.hpp"
+#include "core/metrics.hpp"
+#include "recovery/checkpoint.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+using ftr::comb::Technique;
+
+namespace {
+
+LayoutConfig paper_layout(const BenchEnv& env, Technique t) {
+  LayoutConfig cfg;
+  cfg.scheme = comb::Scheme{env.n, env.l};
+  cfg.technique = t;
+  cfg.procs_diagonal = 8;
+  cfg.procs_lower = 4;
+  cfg.procs_extra_upper = 2;
+  cfg.procs_extra_lower = 1;
+  return cfg;
+}
+
+/// Simulated losses that are recoverable: RC partner constraint and AC GCP
+/// feasibility are both enforced by resampling.
+FailurePlan feasible_losses(const Layout& layout, int count, ftr::Xoshiro256& rng) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    FailurePlan plan = random_simulated_losses(layout, count, rng);
+    if (layout.config.technique == Technique::AlternateCombination) {
+      std::vector<grid::Level> lost;
+      for (int id : plan.simulated_lost_grids) {
+        lost.push_back(layout.slots[static_cast<size_t>(id)].level);
+      }
+      const comb::CoefficientProblem gcp(layout.config.scheme,
+                                         1 + layout.config.extra_layers);
+      if (!gcp.solve(lost).has_value()) continue;
+    }
+    return plan;
+  }
+  return {};
+}
+
+struct Measured {
+  double raw = 0;        // Fig. 9a
+  double app_time = 0;   // total application time
+  long ckpt_count = 0;
+  double t_io = 0;
+};
+
+Measured run_once(const BenchEnv& env, Technique t, int lost, long checkpoints,
+                  ftr::Xoshiro256& rng) {
+  AppConfig cfg;
+  cfg.layout = paper_layout(env, t);
+  cfg.timesteps = env.timesteps;
+  cfg.checkpoints = checkpoints;
+  const Layout layout = build_layout(cfg.layout);
+  if (lost > 0) cfg.failures = feasible_losses(layout, lost, rng);
+
+  // Heavier per-step workload than the other benches: the Fig. 9b
+  // process-time comparison only discriminates when the application time
+  // is large against T_IO (tens of virtual seconds), as in the paper's
+  // 2^13-step runs.
+  auto opts = env.runtime_options();
+  opts.cost.cell_update_rate = kBenchCellRate / 25.0;
+  ftmpi::Runtime rt(opts);
+  FtApp app(cfg);
+  app.launch(rt);
+
+  Measured m;
+  m.app_time = rt.get(keys::kTotalTime, 0);
+  m.ckpt_count = static_cast<long>(rt.get(keys::kCkptWrites, 0)) /
+                 std::max(1, layout.total_procs);
+  m.t_io = env.profile.cost.disk_write_latency;
+  if (t == Technique::CheckpointRestart) {
+    m.raw = rt.get(keys::kCkptWriteTotal, 0) + rt.get(keys::kRecoveryTime, 0);
+  } else {
+    m.raw = rt.get(keys::kRecoveryTime, 0);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto profiles = cli.get("profiles", "opl,raijin");
+  const auto max_lost = static_cast<int>(cli.get_int("max_lost", 5));
+
+  for (const std::string& pname : {std::string("opl"), std::string("raijin")}) {
+    if (profiles.find(pname) == std::string::npos) continue;
+    BenchEnv env = BenchEnv::from_cli(cli);
+    env.profile = ftmpi::ClusterProfile::by_name(pname);
+
+    ftr::Xoshiro256 rng(2026);
+    const Measured probe =
+        run_once(env, Technique::CheckpointRestart, 0, 1, rng);
+    // Checkpoint count: Young's interval per cluster.  The paper prints
+    // Eq. 2 as C = MTBF / T_IO, but that formula is inconsistent with the
+    // paper's own Fig. 9b orderings on *both* clusters (see EXPERIMENTS.md);
+    // Young's classical optimum reproduces them.  --policy=eq2 applies the
+    // literal equation instead.
+    rec::CheckpointPolicy policy;
+    if (cli.get("policy", "young") == "eq2") {
+      policy.kind = rec::CheckpointPolicy::Kind::PaperEq2;
+    } else {
+      policy.kind = rec::CheckpointPolicy::Kind::Young;
+    }
+    const long checkpoints =
+        policy.count(probe.app_time, env.profile.cost.disk_write_latency,
+                     std::max<long>(env.timesteps / 4, 1));
+
+    // Process counts of the three arrangements (paper: 44 / 76 / 49).
+    const int pc = build_layout(paper_layout(env, Technique::CheckpointRestart)).total_procs;
+    const int pr = build_layout(paper_layout(env, Technique::ResamplingCopying)).total_procs;
+    const int pa =
+        build_layout(paper_layout(env, Technique::AlternateCombination)).total_procs;
+
+    Table raw({"lost_grids", "CR(s)", "RC(s)", "AC(s)"});
+    Table norm({"lost_grids", "CR'(s)", "RC'(s)", "AC'(s)"});
+    for (int lost = 1; lost <= max_lost; ++lost) {
+      std::vector<double> cr, rc, ac, crn, rcn, acn;
+      for (int rep = 0; rep < env.reps; ++rep) {
+        const Measured mc = run_once(env, Technique::CheckpointRestart, lost, checkpoints, rng);
+        const Measured mr = run_once(env, Technique::ResamplingCopying, lost, checkpoints, rng);
+        const Measured ma =
+            run_once(env, Technique::AlternateCombination, lost, checkpoints, rng);
+        cr.push_back(mc.raw);
+        rc.push_back(mr.raw);
+        ac.push_back(ma.raw);
+        // Raw CR already contains C*T_IO (the measured writes), matching
+        // T'rec,c = C*T_IO + T_rec,c.
+        crn.push_back(mc.raw);
+        rcn.push_back(ProcessTimeOverhead::rc(mr.raw, mr.app_time, pr, pc));
+        acn.push_back(ProcessTimeOverhead::ac(ma.raw, ma.app_time, pa, pc));
+      }
+      raw.add_row({Table::num(static_cast<long>(lost)), Table::num(mean(cr)),
+                   Table::num(mean(rc)), Table::num(mean(ac))});
+      norm.add_row({Table::num(static_cast<long>(lost)), Table::num(mean(crn)),
+                    Table::num(mean(rcn)), Table::num(mean(acn))});
+    }
+    std::cout << "\n[profile " << env.profile.name << ": T_IO = "
+              << env.profile.cost.disk_write_latency << " s, C = " << checkpoints
+              << ", Pc/Pr/Pa = " << pc << "/" << pr << "/" << pa << "]\n";
+    emit(raw, env, "Fig. 9a: failed grid data recovery overhead (" + env.profile.name + ")");
+    BenchEnv env2 = env;
+    if (!env2.csv.empty()) env2.csv = env.csv + "." + pname + ".norm.csv";
+    emit(norm, env2,
+         "Fig. 9b: process-time data recovery overhead (" + env.profile.name + ")");
+  }
+  return 0;
+}

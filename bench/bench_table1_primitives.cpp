@@ -1,0 +1,75 @@
+// Table I reproduction: per-primitive wall times of the fault-tolerant MPI
+// operations — MPI_Comm_spawn_multiple, OMPI_Comm_shrink, OMPI_Comm_agree,
+// MPI_Intercomm_merge — when two processes have failed, across the paper's
+// core ladder (19, 38, 76, 152, 304).
+//
+// Expected shape (the paper's observation about the beta ULFM): spawn and
+// shrink dominate and grow steeply with the core count; agree is smaller;
+// merge is negligible.  Absolute magnitudes differ from the paper's beta
+// implementation (see DESIGN.md "Known deviations").
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "core/reconstruct.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+
+namespace {
+
+struct Sample {
+  double spawn = 0, shrink = 0, agree = 0, merge = 0;
+};
+
+Sample measure(const BenchEnv& env, int procs, int failures) {
+  ftmpi::Runtime rt(env.runtime_options(/*scale_compute=*/false));
+  std::atomic<double> spawn{0}, shrink{0}, agree{0}, merge{0};
+  rt.register_app("app", [&](const std::vector<std::string>& argv) {
+    Reconstructor recon({"app", argv});
+    if (!ftmpi::get_parent().is_null()) {
+      recon.reconstruct({});
+      return;
+    }
+    ftmpi::Comm w = ftmpi::world();
+    if (w.rank() >= procs - failures) ftmpi::abort_self();
+    const auto res = recon.reconstruct(w);
+    if (w.rank() == 0) {
+      spawn = res.timings.spawn;
+      shrink = res.timings.shrink;
+      agree = res.timings.agree;
+      merge = res.timings.merge;
+    }
+  });
+  rt.run("app", procs);
+  return Sample{spawn.load(), shrink.load(), agree.load(), merge.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const auto cores = cli.get_int_list("cores", {19, 38, 76, 152, 304});
+  const int failures = static_cast<int>(cli.get_int("failures", 2));
+
+  Table table({"cores", "spawn_multiple(s)", "shrink(s)", "agree(s)", "merge(s)"});
+  for (long procs : cores) {
+    std::vector<double> vs, vh, va, vm;
+    for (int rep = 0; rep < env.reps; ++rep) {
+      const Sample s = measure(env, static_cast<int>(procs), failures);
+      vs.push_back(s.spawn);
+      vh.push_back(s.shrink);
+      va.push_back(s.agree);
+      vm.push_back(s.merge);
+    }
+    table.add_row({Table::num(procs), Table::num(mean(vs)), Table::num(mean(vh)),
+                   Table::num(mean(va)), Table::num(mean(vm))});
+  }
+  emit(table, env,
+       "Table I: fault-tolerant MPI primitive times with " + std::to_string(failures) +
+           " failed processes");
+  return 0;
+}

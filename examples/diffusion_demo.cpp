@@ -1,0 +1,91 @@
+// Second-PDE demo: the heat equation on the sparse grid combination
+// technique, solved in parallel on the simulated cluster.
+//
+// The paper's framework targets "2D PDEs" generally; this example shows the
+// library's substrate (grids, decomposition, halo exchange, combination) is
+// not advection-specific.  Each sub-grid group runs the FTCS diffusion
+// solver; the combined solution is compared against the analytic decay of
+// the sin*sin mode.
+//
+//   ./diffusion_demo [--n=6] [--l=3] [--steps=200] [--kappa=0.02]
+
+#include <cstdio>
+#include <map>
+
+#include "advection/diffusion.hpp"
+#include "combination/combine.hpp"
+#include "common/cli.hpp"
+#include "core/layout.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr;
+using advection::DiffusionProblem;
+using grid::Grid2D;
+using grid::Level;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const comb::Scheme scheme{static_cast<int>(cli.get_int("n", 6)),
+                            static_cast<int>(cli.get_int("l", 3))};
+  const DiffusionProblem problem{cli.get_double("kappa", 0.02)};
+  const long steps = cli.get_int("steps", 200);
+  const double dt = advection::diffusion_stable_timestep(scheme.n, problem, 0.8);
+
+  core::LayoutConfig lcfg;
+  lcfg.scheme = scheme;
+  lcfg.technique = comb::Technique::CheckpointRestart;  // plain grid set
+  lcfg.procs_diagonal = 4;
+  lcfg.procs_lower = 2;
+  const core::Layout layout = core::build_layout(lcfg);
+
+  ftmpi::Runtime rt;
+  rt.register_app("diffusion", [&](const std::vector<std::string>&) {
+    ftmpi::Comm& w = ftmpi::world();
+    const int grid_id = layout.grid_of_rank(w.rank());
+    ftmpi::Comm gcomm;
+    ftmpi::comm_split(w, grid_id, w.rank(), &gcomm);
+
+    advection::ParallelDiffusionSolver solver(
+        layout.slots[static_cast<size_t>(grid_id)].level, problem, dt, gcomm);
+    solver.run(steps);
+
+    Grid2D full;
+    solver.gather_full(&full);
+    constexpr int kTag = 321;
+    if (gcomm.rank() == 0 && w.rank() != 0) {
+      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()), 0,
+                  kTag + grid_id, w);
+    }
+    if (w.rank() == 0) {
+      std::map<int, Grid2D> grids;
+      grids.emplace(0, std::move(full));
+      for (int g = 1; g < layout.num_grids(); ++g) {
+        Grid2D other(layout.slots[static_cast<size_t>(g)].level);
+        ftmpi::recv(other.data().data(), static_cast<int>(other.data().size()),
+                    layout.root_rank_of_grid(g), kTag + g, w);
+        grids.emplace(g, std::move(other));
+      }
+      std::vector<comb::Component> parts;
+      for (const auto& slot : layout.slots) {
+        parts.push_back({&grids.at(slot.id),
+                         comb::classic_coefficient(scheme, slot.level)});
+      }
+      const Grid2D combined = comb::combine_full(scheme, parts);
+      const double t = static_cast<double>(steps) * dt;
+      const double err = grid::l1_error(
+          combined, [&](double x, double y) { return problem.exact(x, y, t); });
+      ftmpi::runtime().put("err", err);
+      ftmpi::runtime().put("t", t);
+      ftmpi::runtime().put("decay", problem.exact(0.25, 0.25, t) / problem.initial(0.25, 0.25));
+    }
+    ftmpi::barrier(w);
+  });
+  rt.run("diffusion", layout.total_procs);
+
+  std::printf("heat equation on the combination technique (%d procs, %d sub-grids)\n",
+              layout.total_procs, layout.num_grids());
+  std::printf("t = %.4f, analytic mode amplitude %.4f of initial\n", rt.get("t", 0),
+              rt.get("decay", 0));
+  std::printf("combined-solution l1 error vs analytic decay: %.6e\n", rt.get("err", -1));
+  return rt.get("err", 1.0) < 1e-2 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#include "advection/lax_wendroff.hpp"
+
+#include <vector>
+
+namespace ftr::advection {
+
+using ftr::grid::Grid2D;
+using ftr::grid::LocalField;
+
+void sweep_x(LocalField& f, double courant_x) {
+  const auto& b = f.block();
+  std::vector<double> row(static_cast<size_t>(b.width()));
+  for (int ly = 0; ly < b.height(); ++ly) {
+    for (int lx = 0; lx < b.width(); ++lx) {
+      row[static_cast<size_t>(lx)] =
+          lw_update(f.at(lx - 1, ly), f.at(lx, ly), f.at(lx + 1, ly), courant_x);
+    }
+    for (int lx = 0; lx < b.width(); ++lx) f.at(lx, ly) = row[static_cast<size_t>(lx)];
+  }
+}
+
+void sweep_y(LocalField& f, double courant_y) {
+  const auto& b = f.block();
+  std::vector<double> col(static_cast<size_t>(b.height()));
+  for (int lx = 0; lx < b.width(); ++lx) {
+    for (int ly = 0; ly < b.height(); ++ly) {
+      col[static_cast<size_t>(ly)] =
+          lw_update(f.at(lx, ly - 1), f.at(lx, ly), f.at(lx, ly + 1), courant_y);
+    }
+    for (int ly = 0; ly < b.height(); ++ly) f.at(lx, ly) = col[static_cast<size_t>(ly)];
+  }
+}
+
+void sweep_x_serial(Grid2D& g, double courant_x) {
+  const int n = g.nx() - 1;  // unique points
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int iy = 0; iy < g.ny() - 1; ++iy) {
+    for (int ix = 0; ix < n; ++ix) {
+      const double w = g.at((ix - 1 + n) % n, iy);
+      const double e = g.at((ix + 1) % n, iy);
+      row[static_cast<size_t>(ix)] = lw_update(w, g.at(ix, iy), e, courant_x);
+    }
+    for (int ix = 0; ix < n; ++ix) g.at(ix, iy) = row[static_cast<size_t>(ix)];
+  }
+  g.enforce_periodicity();
+}
+
+void sweep_y_serial(Grid2D& g, double courant_y) {
+  const int n = g.ny() - 1;
+  std::vector<double> col(static_cast<size_t>(n));
+  for (int ix = 0; ix < g.nx() - 1; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      const double s = g.at(ix, (iy - 1 + n) % n);
+      const double nn = g.at(ix, (iy + 1) % n);
+      col[static_cast<size_t>(iy)] = lw_update(s, g.at(ix, iy), nn, courant_y);
+    }
+    for (int iy = 0; iy < n; ++iy) g.at(ix, iy) = col[static_cast<size_t>(iy)];
+  }
+  g.enforce_periodicity();
+}
+
+}  // namespace ftr::advection

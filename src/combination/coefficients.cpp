@@ -1,0 +1,56 @@
+#include "combination/coefficients.hpp"
+
+#include <cmath>
+
+namespace ftr::comb {
+
+double classic_coefficient(const Scheme& s, Level k) {
+  const int depth = s.top_sum() - k.sum();
+  if (!s.in_triangle(k)) return 0.0;
+  if (depth == 0) return 1.0;
+  if (depth == 1) return -1.0;
+  return 0.0;
+}
+
+bool CoefficientProblem::member(Level k, const std::vector<Level>& lost) const {
+  if (!scheme_.in_triangle(k)) return false;
+  for (const Level& g : lost) {
+    if (g.leq(k)) return false;  // k is in the upward closure of a lost grid
+  }
+  return true;
+}
+
+double CoefficientProblem::coefficient(Level k, const std::vector<Level>& lost) const {
+  const auto chi = [&](Level v) { return member(v, lost) ? 1.0 : 0.0; };
+  return chi(k) - chi(Level{k.x + 1, k.y}) - chi(Level{k.x, k.y + 1}) +
+         chi(Level{k.x + 1, k.y + 1});
+}
+
+std::optional<CoefficientSet> CoefficientProblem::solve(const std::vector<Level>& lost) const {
+  CoefficientSet out;
+  for (int depth = 0; depth <= max_depth_; ++depth) {
+    for (const Level& k : scheme_.layer(depth)) {
+      bool is_lost = false;
+      for (const Level& g : lost) is_lost = is_lost || g == k;
+      if (is_lost) continue;
+      const double c = coefficient(k, lost);
+      if (c != 0.0) {
+        out.levels.push_back(k);
+        out.coeffs.push_back(c);
+      }
+    }
+  }
+  // Feasibility: no non-zero coefficient may fall below the computed
+  // window.  Two probe layers suffice because a coefficient at depth d
+  // depends on memberships at depths d-2 .. d only.
+  for (int depth = max_depth_ + 1; depth <= max_depth_ + 2; ++depth) {
+    for (const Level& k : scheme_.layer(depth)) {
+      if (coefficient(k, lost) != 0.0) return std::nullopt;
+    }
+  }
+  // The coefficients of a valid combination sum to 1.
+  if (std::abs(out.sum() - 1.0) > 1e-12) return std::nullopt;
+  return out;
+}
+
+}  // namespace ftr::comb

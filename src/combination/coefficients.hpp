@@ -1,0 +1,77 @@
+#pragma once
+// Combination coefficients: the classic truncated scheme and the general
+// coefficient problem (GCP) used by the Alternate Combination recovery
+// technique [Harding & Hegland, "A robust combination technique", 2013].
+//
+// Both are instances of inclusion-exclusion over a downset.  Let chi be the
+// indicator of a downward-closed index set J (within the truncated window
+// of the scheme).  Then
+//
+//   c_k = sum_{e in {0,1}^2} (-1)^{|e|} chi(k + e)
+//       = chi(k) - chi(k+e1) - chi(k+e2) + chi(k+e1+e2)
+//
+// yields the combination coefficients of J.  For the full triangle D this
+// reproduces the classic (+1 diagonal / -1 lower diagonal) coefficients of
+// Eq. 1.  When grids are lost, J = D minus the upward closure of the lost
+// indices is still a downset, and the same formula re-weights the surviving
+// grids; losses on the two combination layers move non-zero coefficients at
+// most two layers down, which is exactly why the paper's Alternate
+// Combination keeps two extra layers of sub-grids.
+
+#include <optional>
+#include <vector>
+
+#include "combination/index_set.hpp"
+
+namespace ftr::comb {
+
+/// Classic coefficient of a level in scheme s: +1 on the diagonal layer,
+/// -1 on the lower diagonal, 0 elsewhere.
+double classic_coefficient(const Scheme& s, Level k);
+
+/// A solved (alternate) combination: levels and matching coefficients.
+struct CoefficientSet {
+  std::vector<Level> levels;
+  std::vector<double> coeffs;
+
+  [[nodiscard]] double coefficient_of(Level k) const {
+    for (size_t i = 0; i < levels.size(); ++i) {
+      if (levels[i] == k) return coeffs[i];
+    }
+    return 0.0;
+  }
+  /// Consistency invariant: combination coefficients must sum to 1.
+  [[nodiscard]] double sum() const {
+    double s = 0;
+    for (double c : coeffs) s += c;
+    return s;
+  }
+};
+
+class CoefficientProblem {
+ public:
+  /// `max_depth` is the deepest computed layer (1 for the plain scheme,
+  /// 1 + extra layers for Alternate Combination).
+  CoefficientProblem(Scheme s, int max_depth) : scheme_(s), max_depth_(max_depth) {}
+
+  /// Indicator of J = D \ union of upsets of `lost` at index k (k may lie
+  /// below the computed window; the downset extends implicitly downward).
+  [[nodiscard]] bool member(Level k, const std::vector<Level>& lost) const;
+
+  /// Inclusion-exclusion coefficient of k given the lost set.
+  [[nodiscard]] double coefficient(Level k, const std::vector<Level>& lost) const;
+
+  /// Solve the GCP for the surviving grids of the window.  Returns nullopt
+  /// when the loss pattern pushes a non-zero coefficient below the computed
+  /// window (recovery infeasible with the available extra layers).
+  [[nodiscard]] std::optional<CoefficientSet> solve(const std::vector<Level>& lost) const;
+
+  [[nodiscard]] const Scheme& scheme() const { return scheme_; }
+  [[nodiscard]] int max_depth() const { return max_depth_; }
+
+ private:
+  Scheme scheme_;
+  int max_depth_;
+};
+
+}  // namespace ftr::comb

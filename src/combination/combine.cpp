@@ -1,0 +1,40 @@
+#include "combination/combine.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "grid/sampling.hpp"
+
+namespace ftr::comb {
+
+Grid2D combine_to(Level target, const std::vector<Component>& parts) {
+  Grid2D out(target);
+  for (const Component& p : parts) {
+    assert(p.grid != nullptr);
+    ftr::grid::accumulate_interpolated(*p.grid, p.coefficient, out);
+  }
+  return out;
+}
+
+Grid2D combine_full(const Scheme& s, const std::vector<Component>& parts) {
+  return combine_to(Level{s.n, s.n}, parts);
+}
+
+double combined_l1_error(const Grid2D& combined,
+                         const std::function<double(double, double)>& ref) {
+  return ftr::grid::l1_error(combined, ref);
+}
+
+std::vector<Component> classic_components(const Scheme& s,
+                                          const std::vector<const Grid2D*>& grids) {
+  const auto levels = s.combination_levels();
+  assert(grids.size() == levels.size());
+  std::vector<Component> parts;
+  parts.reserve(grids.size());
+  for (size_t i = 0; i < grids.size(); ++i) {
+    parts.push_back(Component{grids[i], classic_coefficient(s, levels[i])});
+  }
+  return parts;
+}
+
+}  // namespace ftr::comb

@@ -1,0 +1,77 @@
+#include "combination/index_set.hpp"
+
+#include <cassert>
+
+namespace ftr::comb {
+
+std::vector<Level> Scheme::layer(int depth) const {
+  std::vector<Level> out;
+  const int sum = top_sum() - depth;
+  const int lo = min_level();
+  // i ascending: matches the paper's Fig. 1 ID order within a layer (the
+  // RC recovery map "4 from 1, 5 from 2, 6 from 3" pins this down: lower
+  // grid (i, j) has the same in-layer position as diagonal (i+1, j)).
+  for (int i = lo; i + lo <= sum; ++i) {
+    const int j = sum - i;
+    if (i < lo || j < lo) continue;
+    out.push_back(Level{i, j});
+  }
+  return out;
+}
+
+int Scheme::layer_size(int depth) const { return static_cast<int>(layer(depth).size()); }
+
+std::vector<Level> Scheme::combination_levels() const {
+  std::vector<Level> out = layer(0);
+  const auto lower = layer(1);
+  out.insert(out.end(), lower.begin(), lower.end());
+  return out;
+}
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::CheckpointRestart: return "Checkpoint/Restart";
+    case Technique::ResamplingCopying: return "Resampling and Copying";
+    case Technique::AlternateCombination: return "Alternate Combination";
+  }
+  return "?";
+}
+
+const char* technique_tag(Technique t) {
+  switch (t) {
+    case Technique::CheckpointRestart: return "CR";
+    case Technique::ResamplingCopying: return "RC";
+    case Technique::AlternateCombination: return "AC";
+  }
+  return "?";
+}
+
+std::vector<GridSlot> build_grid_slots(const Scheme& s, Technique t, int extra_layers) {
+  assert(s.l >= 2 && "combination needs at least two layers");
+  std::vector<GridSlot> slots;
+  int id = 0;
+  for (const Level& lv : s.layer(0)) {
+    slots.push_back(GridSlot{id++, lv, GridRole::Diagonal, -1, 0});
+  }
+  for (const Level& lv : s.layer(1)) {
+    slots.push_back(GridSlot{id++, lv, GridRole::LowerDiagonal, -1, 1});
+  }
+  if (t == Technique::ResamplingCopying) {
+    // One redundant copy per diagonal grid (paper's grids 7-10 duplicating
+    // 0-3).
+    const int diag = s.layer_size(0);
+    for (int d = 0; d < diag; ++d) {
+      slots.push_back(GridSlot{id++, slots[static_cast<size_t>(d)].level,
+                               GridRole::Duplicate, d, 0});
+    }
+  } else if (t == Technique::AlternateCombination) {
+    for (int depth = 2; depth < 2 + extra_layers; ++depth) {
+      for (const Level& lv : s.layer(depth)) {
+        slots.push_back(GridSlot{id++, lv, GridRole::ExtraLayer, -1, depth});
+      }
+    }
+  }
+  return slots;
+}
+
+}  // namespace ftr::comb

@@ -1,0 +1,87 @@
+#pragma once
+// Multi-index sets for the truncated sparse grid combination technique.
+//
+// The paper combines sub-grids u_{i,j} on the layers
+//
+//   u^s_{n,l} = sum_{i+j = 2n-l+1, i,j <= n} u_{i,j}
+//             - sum_{i+j = 2n-l,  i,j <= n-1} u_{i,j}            (Eq. 1)
+//
+// With T = 2n-l+1 the constraint "layer T-s has i,j <= n-s" is equivalent
+// to i >= T-n and j >= T-n on every layer, so the underlying index set is
+// the truncated triangle
+//
+//   D = { (i,j) : i+j <= T,  i >= T-n,  j >= T-n }.
+//
+// Fig. 1's sub-grid IDs enumerate: the diagonal layer (i+j = T) top-down,
+// then the lower-diagonal layer (i+j = T-1), then optional duplicates of
+// the diagonal (Resampling & Copying) or extra layers T-2, T-3 (Alternate
+// Combination).
+
+#include <vector>
+
+#include "grid/grid2d.hpp"
+
+namespace ftr::comb {
+
+using ftr::grid::Level;
+
+/// Parameters of the truncated combination: full grid size n and level l
+/// (the paper uses l >= 4; l controls how many grids sit on each layer).
+struct Scheme {
+  int n = 8;  ///< full (target) grid size: finest dimension is 2^n
+  int l = 4;  ///< combination level
+
+  /// Top layer index sum: i + j = T on the diagonal.
+  [[nodiscard]] int top_sum() const { return 2 * n - l + 1; }
+  /// Minimum level per dimension anywhere in the scheme.
+  [[nodiscard]] int min_level() const { return top_sum() - n; }
+
+  /// Grids on layer `depth` below the top (depth 0 = diagonal layer):
+  /// i + j = T - depth with i, j >= T - n, enumerated with i descending
+  /// (matching Fig. 1's top-down IDs).
+  [[nodiscard]] std::vector<Level> layer(int depth) const;
+
+  /// Number of grids on layer `depth` (l - depth for depth < l).
+  [[nodiscard]] int layer_size(int depth) const;
+
+  /// The diagonal layer (depth 0) and lower-diagonal layer (depth 1)
+  /// concatenated: the paper's grids 0..2l-2, i.e. the grids of Eq. 1.
+  [[nodiscard]] std::vector<Level> combination_levels() const;
+
+  /// Membership test for the truncated triangle D (any depth).
+  [[nodiscard]] bool in_triangle(Level k) const {
+    return k.x >= min_level() && k.y >= min_level() && k.sum() <= top_sum();
+  }
+};
+
+/// A sub-grid slot in the application's grid list: its level, its role and
+/// its combination coefficient under the classic scheme.
+enum class GridRole {
+  Diagonal,       ///< layer 0, classic coefficient +1
+  LowerDiagonal,  ///< layer 1, classic coefficient -1
+  Duplicate,      ///< redundant copy of a diagonal grid (Resampling & Copying)
+  ExtraLayer,     ///< layer 2/3 grid (Alternate Combination), coefficient 0
+};
+
+struct GridSlot {
+  int id = 0;             ///< Fig. 1 grid ID
+  Level level;
+  GridRole role = GridRole::Diagonal;
+  int duplicate_of = -1;  ///< for Duplicate: id of the primary grid
+  int depth = 0;          ///< layer depth below the diagonal
+};
+
+/// The paper's three grid arrangements (Fig. 1).
+enum class Technique { CheckpointRestart, ResamplingCopying, AlternateCombination };
+
+const char* technique_name(Technique t);
+/// Short tag used in tables: CR, RC, AC.
+const char* technique_tag(Technique t);
+
+/// Enumerate the grid list for a technique:
+///   CR: layers 0 and 1 (grids 0 .. 2l-2);
+///   RC: layers 0 and 1 plus one duplicate per diagonal grid;
+///   AC: layers 0 and 1 plus `extra_layers` more layers (paper uses 2).
+std::vector<GridSlot> build_grid_slots(const Scheme& s, Technique t, int extra_layers = 2);
+
+}  // namespace ftr::comb

@@ -1,0 +1,43 @@
+#pragma once
+// Tiny command line parser used by benches and examples.
+//
+// Accepts "--key=value" and boolean "--flag" forms; anything else is a
+// positional argument, collected in order.  (A space-separated "--key value"
+// form is deliberately not supported — it is ambiguous against positionals.)
+// This is intentionally small: the bench binaries need a handful of numeric
+// knobs, not a framework.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftr {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --cores=19,38,76.
+  [[nodiscard]] std::vector<long> get_int_list(const std::string& name,
+                                               const std::vector<long>& fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftr

@@ -1,0 +1,64 @@
+#include "common/logging.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace ftr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("FTR_LOG")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+void Logger::log(LogLevel lvl, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(lvl)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+LogLevel parse_log_level(std::string_view s) noexcept {
+  auto eq = [&s](const char* w) {
+    if (s.size() != std::strlen(w)) return false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(s[i])) != w[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::Trace;
+  if (eq("debug")) return LogLevel::Debug;
+  if (eq("info")) return LogLevel::Info;
+  if (eq("warn")) return LogLevel::Warn;
+  if (eq("error")) return LogLevel::Error;
+  if (eq("off")) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+std::string format_log(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace ftr

@@ -1,0 +1,39 @@
+#pragma once
+// Aligned-column table printer with optional CSV export.
+//
+// Every bench binary regenerates one of the paper's tables or figures; the
+// output format is a fixed-width table (readable in a terminal, diffable in
+// EXPERIMENTS.md) plus an optional CSV file for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row of pre-formatted cells; padded/truncated to header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, "-" for NaN.
+  static std::string num(double v, int precision = 4);
+  static std::string num(long v);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+  /// Write the CSV next to wherever the caller wants; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+  [[nodiscard]] size_t cols() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftr

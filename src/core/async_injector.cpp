@@ -1,0 +1,32 @@
+#include "core/async_injector.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace ftr::core {
+
+AsyncFailureInjector::AsyncFailureInjector(ftmpi::Runtime& rt, Options opt)
+    : rt_(rt), opt_(std::move(opt)) {
+  thread_ = std::thread([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt_.delay_ms));
+    for (int rank : opt_.victim_ranks) {
+      // World ranks of the initial launch coincide with pids (replacement
+      // processes get fresh pids, so an injector targets originals only).
+      rt_.kill(rank);
+      kills_.fetch_add(1);
+      FTR_DEBUG("async injector: killed world rank %d", rank);
+      if (!opt_.together) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt_.delay_ms));
+      }
+    }
+  });
+}
+
+void AsyncFailureInjector::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+AsyncFailureInjector::~AsyncFailureInjector() { join(); }
+
+}  // namespace ftr::core

@@ -1,0 +1,51 @@
+#pragma once
+// Asynchronous failure injector — the paper's actual mechanism: "faults are
+// injected into the application using a failure generator which aborts
+// single or multiple random MPI processes together by the system call
+// kill(getpid(), SIGKILL) at some point before the combination".
+//
+// Unlike the deterministic step-triggered plan in FailurePlan (which the
+// benches use for reproducibility), this injector runs on its own real
+// thread and kills the chosen victims while they are in arbitrary states —
+// blocked in a receive, mid-collective, computing.  Tests built on it
+// assert outcome properties (the run completes, the repaired world has the
+// right shape), not exact timings.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ftmpi/runtime.hpp"
+
+namespace ftr::core {
+
+class AsyncFailureInjector {
+ public:
+  struct Options {
+    /// Victim world ranks (never include rank 0).
+    std::vector<int> victim_ranks;
+    /// Real-time delay before the kills, in milliseconds.
+    int delay_ms = 5;
+    /// Kill all victims together (the paper's "together") or spaced by
+    /// delay_ms each.
+    bool together = true;
+  };
+
+  AsyncFailureInjector(ftmpi::Runtime& rt, Options opt);
+  ~AsyncFailureInjector();
+
+  AsyncFailureInjector(const AsyncFailureInjector&) = delete;
+  AsyncFailureInjector& operator=(const AsyncFailureInjector&) = delete;
+
+  /// Blocks until all kills have been issued.
+  void join();
+  [[nodiscard]] int kills_issued() const { return kills_.load(); }
+
+ private:
+  ftmpi::Runtime& rt_;
+  Options opt_;
+  std::atomic<int> kills_{0};
+  std::thread thread_;
+};
+
+}  // namespace ftr::core

@@ -1,0 +1,58 @@
+#pragma once
+// Failure injection.
+//
+// The paper injects faults with a generator that aborts random MPI
+// processes via kill(getpid(), SIGKILL) at some point before the
+// combination of sub-grid solutions ("real" failures: Figs. 8, 11,
+// Table I), and separately studies "simulated" failures where a grid's
+// data is simply treated as lost at recovery time (Figs. 9, 10).
+// FailurePlan carries both forms; the application consults it during the
+// timestep loop (real) and at the recovery stage (simulated).
+//
+// Constraints honored, as in the paper: world rank 0 never fails, and for
+// Resampling & Copying a grid and its recovery partner are never lost
+// together.
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/layout.hpp"
+
+namespace ftr::core {
+
+struct FailurePlan {
+  /// Real failures: world rank -> timestep at which the process self-kills
+  /// (the paper's SIGKILL before combination).
+  std::map<int, long> kill_at_step;
+  /// Whole-node failures (the paper's future-work scenario): host index ->
+  /// timestep.  Every process on the host dies; replacements are respawned
+  /// together on a spare node.  Host 0 (which carries rank 0) must not fail.
+  std::map<int, long> fail_host_at_step;
+  /// Simulated failures: grid ids whose data is treated as lost.
+  std::vector<int> simulated_lost_grids;
+
+  [[nodiscard]] bool empty() const {
+    return kill_at_step.empty() && fail_host_at_step.empty() &&
+           simulated_lost_grids.empty();
+  }
+  [[nodiscard]] std::vector<int> real_victim_ranks() const {
+    std::vector<int> out;
+    out.reserve(kill_at_step.size());
+    for (const auto& [r, s] : kill_at_step) out.push_back(r);
+    return out;
+  }
+};
+
+/// Draw `count` distinct victim ranks (never rank 0) and a random kill step
+/// in [1, max_step).  For RC layouts the draw is repeated until the lost
+/// grids satisfy the partner constraint.
+FailurePlan random_real_failures(const Layout& layout, int count, long max_step,
+                                 ftr::Xoshiro256& rng);
+
+/// Draw `count` distinct lost grid ids among the technique's recoverable
+/// grids (combination layers and duplicates; AC's extra layers are kept as
+/// survivors, matching the paper's experiments).
+FailurePlan random_simulated_losses(const Layout& layout, int count, ftr::Xoshiro256& rng);
+
+}  // namespace ftr::core

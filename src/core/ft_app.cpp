@@ -1,0 +1,505 @@
+#include "core/ft_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "advection/serial_solver.hpp"
+#include "combination/combine.hpp"
+#include "common/logging.hpp"
+#include "recovery/alternate.hpp"
+#include "grid/sampling.hpp"
+#include "recovery/replication.hpp"
+
+namespace ftr::core {
+
+using ftr::advection::ParallelSolver;
+using ftr::comb::GridRole;
+using ftr::comb::Technique;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+using ftmpi::Comm;
+using ftmpi::kSuccess;
+
+namespace {
+constexpr int kTagGridToRoot = 300;   ///< grid root -> world rank 0 (combination)
+constexpr int kTagRecovered = 400;    ///< world rank 0 -> lost grid root (AC scatter)
+constexpr int kTagPartner = 500;      ///< partner root -> lost grid root (RC)
+}  // namespace
+
+struct FtApp::RankState {
+  Comm world;
+  Comm gcomm;
+  int wrank = -1;
+  int grid = -1;
+  double dt = 0.0;
+  std::unique_ptr<ParallelSolver> solver;
+  Reconstructor recon;
+  // Lost grids accumulated over all repairs (known to every rank via the
+  // post-repair broadcast).
+  std::set<int> real_lost_grids;
+  std::vector<int> last_failed_ranks;  // survivors: from the last repair
+  long bcast_interval = -1;            // interval index from the last post-repair broadcast
+  // rank-0 metrics
+  ReconstructTimings recon_sum{};
+  int repairs = 0;
+  double recovery_time = 0.0;
+  double ckpt_write_total = 0.0;
+  double solve_time = 0.0;
+
+  explicit RankState(Reconstructor r) : recon(std::move(r)) {}
+};
+
+FtApp::FtApp(AppConfig cfg) : cfg_(std::move(cfg)), layout_(build_layout(cfg_.layout)) {
+  store_ = cfg_.checkpoint_dir.empty()
+               ? std::make_shared<ftr::rec::CheckpointStore>()
+               : std::make_shared<ftr::rec::CheckpointStore>(cfg_.checkpoint_dir);
+}
+
+int FtApp::launch(ftmpi::Runtime& rt) {
+  rt.register_app(cfg_.app_name, [this](const std::vector<std::string>& argv) { entry(argv); });
+  rt.clear_results();
+  return rt.run(cfg_.app_name, layout_.total_procs);
+}
+
+// --- small helpers -----------------------------------------------------------
+
+std::vector<double> FtApp::pack_interior(const ftr::grid::LocalField& f) const {
+  const auto& b = f.block();
+  std::vector<double> v(static_cast<size_t>(b.cells()));
+  size_t k = 0;
+  for (int ly = 0; ly < b.height(); ++ly) {
+    for (int lx = 0; lx < b.width(); ++lx) v[k++] = f.at(lx, ly);
+  }
+  return v;
+}
+
+void FtApp::unpack_interior(const std::vector<double>& v, ftr::grid::LocalField& f) const {
+  const auto& b = f.block();
+  assert(v.size() == static_cast<size_t>(b.cells()));
+  size_t k = 0;
+  for (int ly = 0; ly < b.height(); ++ly) {
+    for (int lx = 0; lx < b.width(); ++lx) f.at(lx, ly) = v[k++];
+  }
+}
+
+void FtApp::maybe_self_kill(const RankState& st, long step) {
+  // Whole-node failure: the first resident process whose step reaches the
+  // planned time takes the node down (killing itself and its co-residents).
+  if (!cfg_.failures.fail_host_at_step.empty()) {
+    const int host = ftmpi::runtime().host_of(ftmpi::self_pid());
+    const auto hit = cfg_.failures.fail_host_at_step.find(host);
+    if (hit != cfg_.failures.fail_host_at_step.end() && step >= hit->second) {
+      bool fire = false;
+      {
+        std::lock_guard<std::mutex> lock(kill_mu_);
+        fire = fired_host_fails_.insert(host).second;
+      }
+      if (fire) {
+        FTR_DEBUG("ft_app: node failure on host %d at step %ld", host, step);
+        ftmpi::runtime().fail_host(host);  // marks us dead too
+        throw ftmpi::ProcessKilled{ftmpi::self_pid()};
+      }
+    }
+  }
+  const auto it = cfg_.failures.kill_at_step.find(st.wrank);
+  if (it == cfg_.failures.kill_at_step.end() || step < it->second) return;
+  {
+    std::lock_guard<std::mutex> lock(kill_mu_);
+    if (fired_kills_.count(st.wrank) != 0) return;  // respawned replacement
+    fired_kills_.insert(st.wrank);
+  }
+  FTR_DEBUG("ft_app: rank %d self-kills at step %ld", st.wrank, step);
+  ftmpi::abort_self();
+}
+
+int FtApp::solve_to(RankState& st, long target) {
+  while (st.solver->steps_done() < target) {
+    maybe_self_kill(st, st.solver->steps_done());
+    const int rc = st.solver->step();
+    if (rc != kSuccess) return rc;
+  }
+  return kSuccess;
+}
+
+// --- main flow ---------------------------------------------------------------
+
+void FtApp::entry(const std::vector<std::string>& argv) {
+  RankState st{Reconstructor{{cfg_.app_name, argv}}};
+  const bool is_child = !ftmpi::get_parent().is_null();
+  if (is_child) {
+    const auto res = st.recon.reconstruct({});
+    st.world = res.comm;
+  } else {
+    st.world = ftmpi::world();
+  }
+  st.wrank = st.world.rank();
+  st.grid = layout_.grid_of_rank(st.wrank);
+  st.dt = ftr::advection::stable_timestep(cfg_.layout.scheme.n, cfg_.problem, cfg_.cfl);
+
+  long resume_interval = 0;
+  if (is_child) {
+    // The broadcast inside post_repair tells us which interval to resume at.
+    post_repair(st, /*interval_index=*/-1, /*is_child=*/true);
+    resume_interval = st.bcast_interval + 1;
+  } else {
+    int rc = ftmpi::comm_split(st.world, st.grid, st.wrank, &st.gcomm);
+    if (rc != kSuccess) return;
+    st.solver = std::make_unique<ParallelSolver>(layout_.slots[static_cast<size_t>(st.grid)].level,
+                                                 cfg_.problem, st.dt, st.gcomm);
+  }
+
+  if (cfg_.layout.technique == Technique::CheckpointRestart) {
+    run_checkpoint_restart_from(st, resume_interval);
+  } else {
+    if (is_child) {
+      // End-phase repair already restored what this technique restores
+      // before combination; fall through.
+    } else {
+      run_combination_technique(st);
+    }
+  }
+  recovery_and_combine(st);
+}
+
+long FtApp::interval_target(long interval) const {
+  const long c = std::max<long>(cfg_.checkpoints, 0);
+  if (interval >= c) return cfg_.timesteps;
+  return cfg_.timesteps * (interval + 1) / (c + 1);
+}
+
+void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
+  const long c = cfg_.checkpoints;
+  for (long i = start_interval; i <= c; ++i) {
+    const long target = interval_target(i);
+    const double t0 = ftmpi::wtime();
+    const int step_rc = solve_to(st, target);
+    st.solve_time += ftmpi::wtime() - t0;
+    // ULFM practice: a rank that observed the failure revokes the group
+    // communicator so group mates blocked in halo exchange learn of it and
+    // reach the detection point too (otherwise they would wait forever on a
+    // survivor that has already left the solve loop).
+    if (step_rc != kSuccess && !st.gcomm.is_null()) ftmpi::comm_revoke(st.gcomm);
+
+    // Detection is tested before the checkpoint write (paper Sec. III).
+    const auto res = st.recon.reconstruct(st.world);
+    if (res.repaired) {
+      st.world = res.comm;
+      st.last_failed_ranks = res.failed_ranks;
+      if (st.wrank == 0) {
+        ++st.repairs;
+        accumulate_timings(st, res.timings);
+      }
+      post_repair(st, i, /*is_child=*/false);
+      // The failed grid restarted from the recent checkpoint instead of
+      // writing a new one (paper); no write this interval.
+      continue;
+    }
+    if (i == c) break;  // final interval has no checkpoint write
+    const double tw = ftmpi::wtime();
+    store_->write(st.grid, st.gcomm.rank(), st.solver->steps_done(),
+                  pack_interior(st.solver->field()));
+    ftmpi::barrier(st.world);
+    if (st.wrank == 0) st.ckpt_write_total += ftmpi::wtime() - tw;
+  }
+}
+
+void FtApp::run_combination_technique(RankState& st) {
+  const double t0 = ftmpi::wtime();
+  const int step_rc = solve_to(st, cfg_.timesteps);
+  st.solve_time += ftmpi::wtime() - t0;
+  // Revoke the group communicator on error so blocked group mates also
+  // reach the detection point (see run_checkpoint_restart_from).
+  if (step_rc != kSuccess && !st.gcomm.is_null()) ftmpi::comm_revoke(st.gcomm);
+
+  // Single detection point at the end, before the combination (paper).
+  const auto res = st.recon.reconstruct(st.world);
+  if (res.repaired) {
+    st.world = res.comm;
+    st.last_failed_ranks = res.failed_ranks;
+    if (st.wrank == 0) {
+      ++st.repairs;
+      accumulate_timings(st, res.timings);
+    }
+    post_repair(st, cfg_.checkpoints /* => target = timesteps */, /*is_child=*/false);
+  }
+}
+
+void FtApp::accumulate_timings(RankState& st, const ReconstructTimings& t) {
+  st.recon_sum.total += t.total;
+  st.recon_sum.failed_list += t.failed_list;
+  st.recon_sum.revoke += t.revoke;
+  st.recon_sum.shrink += t.shrink;
+  st.recon_sum.spawn += t.spawn;
+  st.recon_sum.agree += t.agree;
+  st.recon_sum.merge += t.merge;
+  st.recon_sum.split += t.split;
+}
+
+void FtApp::post_repair(RankState& st, long interval, bool is_child) {
+  // 1. Run-state broadcast so respawned children can fast-forward:
+  //    [interval, #lost, lost grid ids...].
+  long header[2] = {interval, 0};
+  std::vector<long> lost_ids;
+  if (st.wrank == 0) {
+    const auto lost = layout_.grids_of_ranks(st.last_failed_ranks);
+    lost_ids.assign(lost.begin(), lost.end());
+    header[1] = static_cast<long>(lost_ids.size());
+  }
+  ftmpi::bcast(header, 2, 0, st.world);
+  lost_ids.resize(static_cast<size_t>(header[1]));
+  if (header[1] > 0) {
+    ftmpi::bcast(lost_ids.data(), static_cast<int>(lost_ids.size()), 0, st.world);
+  }
+  st.bcast_interval = header[0];
+  for (long id : lost_ids) st.real_lost_grids.insert(static_cast<int>(id));
+
+  // 2. Rebuild the per-grid communicators over the repaired world; ranks
+  //    are unchanged, so the same split reproduces the original groups.
+  int rc = ftmpi::comm_split(st.world, st.grid, st.wrank, &st.gcomm);
+  if (rc != kSuccess) {
+    FTR_ERROR("ft_app: grid comm rebuild failed (%d)", rc);
+    return;
+  }
+  if (is_child || !st.solver) {
+    st.solver = std::make_unique<ParallelSolver>(
+        layout_.slots[static_cast<size_t>(st.grid)].level, cfg_.problem, st.dt, st.gcomm);
+  } else {
+    st.solver->set_comm(st.gcomm);
+  }
+
+  // 3. Technique-specific restoration of the really-lost grids, timed as a
+  //    barrier-delimited window on rank 0's (synchronized) virtual clock.
+  std::vector<int> lost(lost_ids.begin(), lost_ids.end());
+  ftmpi::barrier(st.world);
+  const double t0 = ftmpi::wtime();
+  switch (cfg_.layout.technique) {
+    case Technique::CheckpointRestart:
+      cr_restore(st, lost, interval_target(header[0]));
+      break;
+    case Technique::ResamplingCopying:
+      rc_restore(st, lost);
+      break;
+    case Technique::AlternateCombination:
+      // Recovery happens at the combination (coefficients + sampling).
+      break;
+  }
+  ftmpi::barrier(st.world);
+  if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
+}
+
+void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target) {
+  if (std::find(lost.begin(), lost.end(), st.grid) == lost.end()) return;
+  // The whole group of a failed grid rolls back to its most recent
+  // checkpoint (survivors' local updates are unusable, paper Sec. II-D)
+  // and recomputes the lost timesteps.
+  const auto snap = store_->read_latest(st.grid, st.gcomm.rank());
+  if (snap.has_value()) {
+    unpack_interior(snap->data, st.solver->field());
+    st.solver->set_steps_done(snap->step);
+  } else {
+    st.solver->fill_local([this](double x, double y) { return cfg_.problem.initial(x, y); });
+    st.solver->set_steps_done(0);
+  }
+  const int rc = solve_to(st, target);
+  if (rc != kSuccess) {
+    FTR_WARN("ft_app: failure during CR recompute (rank %d)", st.wrank);
+    ftmpi::comm_revoke(st.gcomm);
+  }
+}
+
+void FtApp::rc_restore(RankState& st, const std::vector<int>& lost) {
+  // Each lost grid is restored from its partner: exact copy from the
+  // duplicate for diagonal grids, resampling from the finer diagonal for
+  // lower-diagonal grids.  Every rank walks the same lost list; only the
+  // partner group and the lost group take part in each transfer.
+  for (int lost_id : lost) {
+    const auto partner = ftr::rec::rc_partner(layout_.slots, lost_id);
+    if (!partner.has_value()) {
+      FTR_ERROR("ft_app: lost grid %d has no RC partner", lost_id);
+      continue;
+    }
+    const int p = *partner;
+    const Level p_level = layout_.slots[static_cast<size_t>(p)].level;
+    if (st.grid == p) {
+      Grid2D full;
+      if (st.solver->gather_full(&full) != kSuccess) continue;
+      if (st.gcomm.rank() == 0) {
+        ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
+                    layout_.root_rank_of_grid(lost_id), kTagPartner + lost_id, st.world);
+      }
+    }
+    if (st.grid == lost_id) {
+      Grid2D recovered;
+      if (st.gcomm.rank() == 0) {
+        Grid2D partner_grid(p_level);
+        ftmpi::recv(partner_grid.data().data(), static_cast<int>(partner_grid.data().size()),
+                    layout_.root_rank_of_grid(p), kTagPartner + lost_id, st.world);
+        recovered = ftr::rec::rc_recover(layout_.slots, lost_id, partner_grid);
+      }
+      st.solver->scatter_full(recovered);
+      st.solver->set_steps_done(cfg_.timesteps);
+    }
+  }
+}
+
+void FtApp::recovery_and_combine(RankState& st) {
+  const Technique tech = cfg_.layout.technique;
+  const auto& sim = cfg_.failures.simulated_lost_grids;
+
+  // --- simulated-loss recovery (Figs. 9 and 10 mode) -----------------------
+  if (!sim.empty()) {
+    ftmpi::barrier(st.world);
+    const double t0 = ftmpi::wtime();
+    switch (tech) {
+      case Technique::CheckpointRestart:
+        cr_restore(st, sim, cfg_.timesteps);
+        break;
+      case Technique::ResamplingCopying:
+        rc_restore(st, sim);
+        break;
+      case Technique::AlternateCombination:
+        // The only recovery overhead of AC is deriving the new combination
+        // coefficients (the sampling happens during the compulsory
+        // combination stage anyway, paper Sec. III-B).
+        if (st.wrank == 0) {
+          ftmpi::charge_flops(ftr::rec::ac_coefficient_flops(
+              cfg_.layout.scheme, 1 + cfg_.layout.extra_layers));
+        }
+        break;
+    }
+    ftmpi::barrier(st.world);
+    if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
+  }
+
+  // --- combination ----------------------------------------------------------
+  // AC combines around the still-lost grids with GCP coefficients; CR and
+  // RC have restored every grid, so the classic combination applies.
+  std::set<int> lost_now;
+  if (tech == Technique::AlternateCombination) {
+    lost_now = st.real_lost_grids;
+    for (int id : sim) lost_now.insert(id);
+  }
+
+  ftmpi::barrier(st.world);
+  const double t_comb = ftmpi::wtime();
+  std::map<int, Grid2D> rank0_grids;      // world rank 0 only
+  std::map<int, Grid2D> rank0_recovered;  // world rank 0 only
+
+  // Deterministic contributor set, computable by every rank.
+  std::vector<Level> lost_levels;
+  for (int id : lost_now) {
+    lost_levels.push_back(layout_.slots[static_cast<size_t>(id)].level);
+  }
+  const ftr::comb::CoefficientProblem gcp(cfg_.layout.scheme,
+                                          tech == Technique::AlternateCombination
+                                              ? 1 + cfg_.layout.extra_layers
+                                              : 1);
+  const auto coeffs = gcp.solve(lost_levels);
+  std::vector<std::pair<int, double>> contributors;  // grid id, coefficient
+  if (coeffs.has_value()) {
+    for (const auto& slot : layout_.slots) {
+      if (slot.role == GridRole::Duplicate) continue;
+      if (lost_now.count(slot.id) != 0) continue;
+      const double c = coeffs->coefficient_of(slot.level);
+      if (c != 0.0) contributors.emplace_back(slot.id, c);
+    }
+  } else if (st.wrank == 0) {
+    FTR_ERROR("ft_app: loss pattern infeasible for the available layers");
+  }
+
+  // Grid groups gather their solution; roots ship it to world rank 0.
+  for (const auto& [gid, coeff] : contributors) {
+    (void)coeff;
+    if (st.grid != gid) continue;
+    Grid2D full;
+    if (st.solver->gather_full(&full) != kSuccess) continue;
+    if (st.gcomm.rank() == 0 && st.wrank != 0) {
+      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()), 0,
+                  kTagGridToRoot + gid, st.world);
+    } else if (st.wrank == 0) {
+      rank0_grids[gid] = std::move(full);  // rank 0 is grid 0's root
+    }
+  }
+
+  Grid2D combined;
+  if (st.wrank == 0) {
+    std::vector<ftr::comb::Component> parts;
+    for (const auto& [gid, coeff] : contributors) {
+      auto it = rank0_grids.find(gid);
+      if (it == rank0_grids.end()) {
+        Grid2D g(layout_.slots[static_cast<size_t>(gid)].level);
+        ftmpi::recv(g.data().data(), static_cast<int>(g.data().size()),
+                    layout_.root_rank_of_grid(gid), kTagGridToRoot + gid, st.world);
+        it = rank0_grids.emplace(gid, std::move(g)).first;
+      }
+      parts.push_back(ftr::comb::Component{&it->second, coeff});
+    }
+    combined = ftr::comb::combine_full(cfg_.layout.scheme, parts);
+    // Charge the interpolation work of the combination.
+    ftmpi::charge_flops(10.0 * static_cast<double>(combined.size()) *
+                        static_cast<double>(parts.size()));
+  }
+
+  // AC: recovered data for the lost grids is a sample of the combined
+  // solution; push it back onto the lost groups.
+  if (tech == Technique::AlternateCombination && cfg_.scatter_recovered) {
+    for (int gid : lost_now) {
+      const Level lv = layout_.slots[static_cast<size_t>(gid)].level;
+      if (st.wrank == 0) {
+        Grid2D rec(lv);
+        ftr::grid::interpolate(combined, rec);
+        if (layout_.root_rank_of_grid(gid) == 0) {
+          rank0_recovered[gid] = std::move(rec);
+        } else {
+          ftmpi::send(rec.data().data(), static_cast<int>(rec.data().size()),
+                      layout_.root_rank_of_grid(gid), kTagRecovered + gid, st.world);
+        }
+      }
+      if (st.grid == gid) {
+        Grid2D rec(lv);
+        if (st.gcomm.rank() == 0) {
+          if (st.wrank == 0) {
+            rec = std::move(rank0_recovered[gid]);
+          } else {
+            ftmpi::recv(rec.data().data(), static_cast<int>(rec.data().size()), 0,
+                        kTagRecovered + gid, st.world);
+          }
+        }
+        st.solver->scatter_full(rec);
+        st.solver->set_steps_done(cfg_.timesteps);
+      }
+    }
+  }
+
+  ftmpi::barrier(st.world);
+
+  // --- final report (rank 0) -------------------------------------------------
+  if (st.wrank == 0) {
+    ftmpi::Runtime& rt = ftmpi::runtime();
+    rt.put(keys::kCombineTime, ftmpi::wtime() - t_comb);
+    if (cfg_.measure_error && !combined.data().empty()) {
+      const double t_final = static_cast<double>(cfg_.timesteps) * st.dt;
+      const double err = ftr::grid::l1_error(combined, [&](double x, double y) {
+        return cfg_.problem.exact(x, y, t_final);
+      });
+      rt.put(keys::kErrorL1, err);
+    }
+    rt.put(keys::kTotalTime, ftmpi::wtime());
+    rt.put(keys::kSolveTime, st.solve_time);
+    rt.put(keys::kProcs, static_cast<double>(layout_.total_procs));
+    rt.put(keys::kRepairs, static_cast<double>(st.repairs));
+    rt.put(keys::kReconTotal, st.recon_sum.total);
+    rt.put(keys::kReconFailedList, st.recon_sum.failed_list);
+    rt.put(keys::kReconShrink, st.recon_sum.shrink);
+    rt.put(keys::kReconSpawn, st.recon_sum.spawn);
+    rt.put(keys::kReconAgree, st.recon_sum.agree);
+    rt.put(keys::kReconMerge, st.recon_sum.merge);
+    rt.put(keys::kReconSplit, st.recon_sum.split);
+    rt.put(keys::kRecoveryTime, st.recovery_time);
+    rt.put(keys::kCkptWriteTotal, st.ckpt_write_total);
+    rt.put(keys::kCkptWrites, static_cast<double>(store_->writes()));
+  }
+}
+
+}  // namespace ftr::core

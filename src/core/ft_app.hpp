@@ -1,0 +1,149 @@
+#pragma once
+// The fault-tolerant 2D advection application (the paper's Sec. II).
+//
+// Structure per run:
+//   1. setup: split MPI_COMM_WORLD into one group per sub-grid (layout.hpp)
+//      and build a ParallelSolver per group;
+//   2. solve: all groups advance the same fixed timestep.
+//      - CR: the run is divided into C+1 intervals; after each of the first
+//        C intervals every rank probes for failures (communicatorReconstruct)
+//        and then writes a checkpoint — detection happens *before* the
+//        write, as in the paper;
+//      - RC/AC: the solver runs straight through; failure detection is
+//        tested once, at the end, before the combination;
+//   3. repair: on detection, the world is reconstructed (same size, same
+//      ranks, children respawned on the original hosts), grid communicators
+//      are rebuilt by the same comm_split, and the run state is broadcast
+//      so respawned children fast-forward to the right program point;
+//   4. recover: lost sub-grids are restored per technique (checkpoint
+//      read + recompute / partner copy + resample / alternate-combination
+//      sampling);
+//   5. combine: grid roots ship their solutions to world rank 0, which
+//      forms the combined solution (classic or GCP coefficients) and
+//      reports its l1 error against the exact advection solution.
+//
+// Real failures (SIGKILL-style self-aborts at a planned timestep) and
+// simulated failures (grid data treated as lost) are both supported,
+// mirroring the paper's two experimental modes.
+//
+// Results are published on the Runtime blackboard under the keys below.
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advection/parallel_solver.hpp"
+#include "advection/problem.hpp"
+#include "core/failure_gen.hpp"
+#include "core/layout.hpp"
+#include "core/reconstruct.hpp"
+#include "ftmpi/runtime.hpp"
+#include "recovery/checkpoint.hpp"
+
+namespace ftr::core {
+
+namespace keys {
+inline constexpr const char* kTotalTime = "app.total_time";
+inline constexpr const char* kSolveTime = "app.solve_time";
+inline constexpr const char* kCombineTime = "combine.time";
+inline constexpr const char* kErrorL1 = "error.l1";
+inline constexpr const char* kProcs = "app.procs";
+inline constexpr const char* kReconTotal = "recon.total";
+inline constexpr const char* kReconFailedList = "recon.failed_list";
+inline constexpr const char* kReconShrink = "recon.shrink";
+inline constexpr const char* kReconSpawn = "recon.spawn";
+inline constexpr const char* kReconAgree = "recon.agree";
+inline constexpr const char* kReconMerge = "recon.merge";
+inline constexpr const char* kReconSplit = "recon.split";
+inline constexpr const char* kRecoveryTime = "recovery.time";
+inline constexpr const char* kCkptWriteTotal = "ckpt.write_total";
+inline constexpr const char* kCkptWrites = "ckpt.writes";
+inline constexpr const char* kRepairs = "app.repairs";
+}  // namespace keys
+
+struct AppConfig {
+  LayoutConfig layout;
+  ftr::advection::Problem problem{};
+  long timesteps = 128;
+  double cfl = 0.9;
+  /// CR: number of checkpoints C (paper Eq. 2; benches compute it from the
+  /// policy).  The run is split into C+1 intervals with a detection point
+  /// and a write after each of the first C.
+  long checkpoints = 3;
+  FailurePlan failures;
+  /// Push recovered data back onto the lost grids' groups (exercises the
+  /// full recovery path; costs a scatter per lost grid).
+  bool scatter_recovered = true;
+  /// Compute the combined solution and its l1 error at world rank 0.
+  bool measure_error = true;
+  /// Non-empty: back the checkpoint store with real files under this
+  /// directory (removed on destruction) instead of memory.  I/O *costs*
+  /// are identical — they come from the cluster profile either way.
+  std::string checkpoint_dir;
+  std::string app_name = "ft_pde_app";
+};
+
+class FtApp {
+ public:
+  explicit FtApp(AppConfig cfg);
+
+  /// Register this app with the runtime and run it on the layout's process
+  /// count.  Returns the number of killed processes.  Results are on the
+  /// runtime blackboard.
+  int launch(ftmpi::Runtime& rt);
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  [[nodiscard]] const AppConfig& config() const { return cfg_; }
+  [[nodiscard]] ftr::rec::CheckpointStore& checkpoint_store() { return *store_; }
+
+  /// The per-rank entry point (public so tests can drive it directly).
+  void entry(const std::vector<std::string>& argv);
+
+ private:
+  struct RankState;  // defined in ft_app.cpp
+
+  /// Run the CR interval loop starting at `start_interval` (non-zero for
+  /// respawned children fast-forwarding).
+  void run_checkpoint_restart_from(RankState& st, long start_interval);
+  void run_combination_technique(RankState& st);  // RC and AC share this path
+
+  /// Step boundary of CR interval i (timesteps for i >= checkpoints).
+  [[nodiscard]] long interval_target(long interval) const;
+
+  /// Advance to `target` steps, firing planned kills; errors fall through
+  /// to the next detection point.
+  int solve_to(RankState& st, long target);
+
+  /// Everything that happens right after a repair: broadcast of the run
+  /// state to the (possibly respawned) world, grid-communicator rebuild,
+  /// and per-technique restoration of the lost grids.
+  void post_repair(RankState& st, long interval_index, bool is_child);
+
+  /// Technique-specific restoration of lost grids (used for both real and
+  /// simulated losses).
+  void cr_restore(RankState& st, const std::vector<int>& lost, long target);
+  void rc_restore(RankState& st, const std::vector<int>& lost);
+
+  /// Recovery of simulated losses + final combination and error report.
+  void recovery_and_combine(RankState& st);
+
+  static void accumulate_timings(RankState& st, const ReconstructTimings& t);
+  void maybe_self_kill(const RankState& st, long step);
+  [[nodiscard]] std::vector<double> pack_interior(const ftr::grid::LocalField& f) const;
+  void unpack_interior(const std::vector<double>& v, ftr::grid::LocalField& f) const;
+
+  AppConfig cfg_;
+  Layout layout_;
+  std::shared_ptr<ftr::rec::CheckpointStore> store_;
+
+  // Kill bookkeeping shared by all rank threads: each planned kill fires
+  // exactly once (a respawned process re-runs the same timesteps and must
+  // not die again).
+  std::mutex kill_mu_;
+  std::set<int> fired_kills_;
+  std::set<int> fired_host_fails_;
+};
+
+}  // namespace ftr::core

@@ -1,0 +1,75 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftr::core {
+
+using ftr::comb::GridRole;
+using ftr::comb::GridSlot;
+
+int Layout::grid_of_rank(int world_rank) const {
+  for (int g = num_grids() - 1; g >= 0; --g) {
+    if (world_rank >= first_rank[static_cast<size_t>(g)]) return g;
+  }
+  return 0;
+}
+
+std::vector<int> Layout::grids_of_ranks(const std::vector<int>& world_ranks) const {
+  std::vector<int> out;
+  for (int r : world_ranks) {
+    if (r < 0 || r >= total_procs) continue;
+    out.push_back(grid_of_rank(r));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Layout build_layout(const LayoutConfig& cfg) {
+  Layout out;
+  out.config = cfg;
+  out.slots = ftr::comb::build_grid_slots(cfg.scheme, cfg.technique, cfg.extra_layers);
+  out.procs_per_grid.reserve(out.slots.size());
+  for (const GridSlot& s : out.slots) {
+    int p = 1;
+    switch (s.role) {
+      case GridRole::Diagonal:
+      case GridRole::Duplicate:
+        p = cfg.procs_diagonal;
+        break;
+      case GridRole::LowerDiagonal:
+        p = cfg.procs_lower;
+        break;
+      case GridRole::ExtraLayer:
+        p = s.depth == 2 ? cfg.procs_extra_upper : cfg.procs_extra_lower;
+        break;
+    }
+    p = std::max(p, 1);
+    // A group larger than the grid's unique cells cannot be decomposed;
+    // clamp to the number of unique rows * columns (never binds at the
+    // paper's scales).
+    const long cells = (1L << s.level.x) * (1L << s.level.y);
+    p = static_cast<int>(std::min<long>(p, cells));
+    out.procs_per_grid.push_back(p);
+  }
+  out.first_rank.resize(out.slots.size());
+  int next = 0;
+  for (size_t g = 0; g < out.slots.size(); ++g) {
+    out.first_rank[g] = next;
+    next += out.procs_per_grid[g];
+  }
+  out.total_procs = next;
+  return out;
+}
+
+LayoutConfig table1_layout(int n, int l, int diag_procs) {
+  LayoutConfig cfg;
+  cfg.scheme = ftr::comb::Scheme{n, l};
+  cfg.technique = ftr::comb::Technique::CheckpointRestart;
+  cfg.procs_diagonal = diag_procs;
+  cfg.procs_lower = std::max(diag_procs / 4, 1);
+  return cfg;
+}
+
+}  // namespace ftr::core

@@ -1,0 +1,36 @@
+#pragma once
+// The paper's process-time data recovery overhead formulas (Sec. III-B).
+//
+// Comparing raw recovery times across techniques is unfair: RC and AC use
+// extra processes (duplicates / extra layers) whose entire runtime is part
+// of the price of recoverability.  The paper therefore normalizes to the
+// process count of Checkpoint/Restart:
+//
+//   T'rec,c = C * T_IO + T_rec,c
+//   T'rec,r = (T_rec,r * P_r + T_app,r * (P_r - P_c)) / P_c
+//   T'rec,a = (T_rec,a * P_a + T_app,a * (P_a - P_c)) / P_c
+//
+// where C is the checkpoint count, T_IO the single checkpoint write time,
+// T_rec,* the raw recovery time of each technique, T_app,* the application
+// time (excluding reconstruction), and P_c / P_r / P_a the process counts
+// of CR / RC / AC.
+
+namespace ftr::core {
+
+struct ProcessTimeOverhead {
+  /// Checkpoint/Restart: all checkpoint writes plus the raw recovery
+  /// (read + recompute).
+  [[nodiscard]] static double cr(long checkpoint_count, double t_io, double t_rec) {
+    return static_cast<double>(checkpoint_count) * t_io + t_rec;
+  }
+  /// Resampling & Copying, normalized to CR's process count.
+  [[nodiscard]] static double rc(double t_rec, double t_app, int p_r, int p_c) {
+    return (t_rec * p_r + t_app * (p_r - p_c)) / static_cast<double>(p_c);
+  }
+  /// Alternate Combination, normalized to CR's process count.
+  [[nodiscard]] static double ac(double t_rec, double t_app, int p_a, int p_c) {
+    return (t_rec * p_a + t_app * (p_a - p_c)) / static_cast<double>(p_c);
+  }
+};
+
+}  // namespace ftr::core

@@ -1,0 +1,226 @@
+#include "core/reconstruct.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "ftmpi/mpi_compat.hpp"
+
+namespace ftr::core {
+
+using namespace ftmpi::compat;
+
+namespace {
+
+/// The paper's mpiErrorHandler (Fig. 4): acknowledge the failures known on
+/// the communicator.  (The paper notes a small delay is sometimes needed in
+/// the beta ULFM; our runtime has no such race.)
+void mpi_error_handler(MPI_Comm* comm, int* /*error_code*/) {
+  OMPI_Comm_failure_ack(*comm);
+  MPI_Group failed_group;
+  OMPI_Comm_failure_get_acked(*comm, &failed_group);
+}
+
+}  // namespace
+
+std::vector<int> Reconstructor::failed_procs_list(const ftmpi::Comm& broken,
+                                                  const ftmpi::Comm& shrunken) {
+  // Fig. 6: compare the old and shrunken groups, take the difference, and
+  // translate its members back to ranks of the broken communicator.
+  MPI_Group old_group, shrink_group;
+  MPI_Comm_group(broken, &old_group);
+  MPI_Comm_group(shrunken, &shrink_group);
+
+  int result = MPI_IDENT;
+  MPI_Group_compare(old_group, shrink_group, &result);
+  if (result == MPI_IDENT) return {};
+
+  MPI_Group failed_group;
+  MPI_Group_difference(old_group, shrink_group, &failed_group);
+  int total_failed = 0;
+  MPI_Group_size(failed_group, &total_failed);
+
+  std::vector<int> temp_ranks(static_cast<size_t>(total_failed));
+  for (int i = 0; i < total_failed; ++i) temp_ranks[static_cast<size_t>(i)] = i;
+  std::vector<int> failed_ranks(static_cast<size_t>(total_failed));
+  MPI_Group_translate_ranks(failed_group, total_failed, temp_ranks.data(), old_group,
+                            failed_ranks.data());
+  return failed_ranks;
+}
+
+int Reconstructor::select_rank_key(int merged_rank, int shrunken_size,
+                                   const std::vector<int>& failed_ranks, int total_procs) {
+  // Fig. 7: survivors keep their original rank as the split key.  Build the
+  // list of surviving original ranks in order; merged rank i (a survivor,
+  // i < shrunken_size) originally held the i-th surviving rank.
+  std::vector<int> shrink_merge_list;
+  shrink_merge_list.reserve(static_cast<size_t>(total_procs));
+  for (int r = 0; r < total_procs; ++r) {
+    bool failed = false;
+    for (int f : failed_ranks) failed = failed || f == r;
+    if (!failed) shrink_merge_list.push_back(r);
+  }
+  assert(merged_rank < shrunken_size);
+  assert(static_cast<size_t>(shrunken_size) == shrink_merge_list.size());
+  return shrink_merge_list[static_cast<size_t>(merged_rank)];
+}
+
+int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
+  // Fig. 5: repairComm.
+  const int slots = ftmpi::runtime().slots_per_host();
+  double t0 = MPI_Wtime();
+  OMPI_Comm_revoke(&broken);
+  out.timings.revoke += MPI_Wtime() - t0;
+
+  t0 = MPI_Wtime();
+  MPI_Comm shrunken;
+  int rc = OMPI_Comm_shrink(broken, &shrunken);
+  out.timings.shrink += MPI_Wtime() - t0;
+  if (rc != MPI_SUCCESS) return rc;
+
+  t0 = MPI_Wtime();
+  const std::vector<int> failed_ranks = failed_procs_list(broken, shrunken);
+  out.timings.failed_list += MPI_Wtime() - t0;
+  out.failed_ranks = failed_ranks;
+  const int total_failed = static_cast<int>(failed_ranks.size());
+  if (total_failed == 0) {
+    out.comm = shrunken;  // nothing to repair (spurious detection)
+    return MPI_SUCCESS;
+  }
+  int total_procs = 0;
+  MPI_Comm_size(broken, &total_procs);
+
+  // Spawn the replacements on the hosts the failed ranks occupied
+  // (hostfile line = rank / SLOTS), preserving load balance.
+  std::vector<std::string> commands;
+  std::vector<std::vector<std::string>> argvs;
+  std::vector<int> maxprocs;
+  std::vector<MPI_Info> infos;
+  for (int i = 0; i < total_failed; ++i) {
+    commands.push_back(cfg_.app_name);
+    argvs.push_back(cfg_.argv);
+    maxprocs.push_back(1);
+    MPI_Info info;
+    MPI_Info_create(&info);
+    MPI_Info_set_host(&info, failed_ranks[static_cast<size_t>(i)] / slots);
+    infos.push_back(info);
+  }
+  t0 = MPI_Wtime();
+  MPI_Comm temp_intercomm;
+  rc = MPI_Comm_spawn_multiple(total_failed, commands, argvs, maxprocs, infos, 0, shrunken,
+                               &temp_intercomm, MPI_ERRCODES_IGNORE);
+  out.timings.spawn += MPI_Wtime() - t0;
+  if (rc != MPI_SUCCESS) return rc;
+
+  // Synchronize with the children over the intercommunicator (parent part).
+  // Note: agree precedes merge on both sides (see header).
+  t0 = MPI_Wtime();
+  int flag = 1;
+  OMPI_Comm_agree(temp_intercomm, &flag);
+  out.timings.agree += MPI_Wtime() - t0;
+
+  t0 = MPI_Wtime();
+  MPI_Comm unorder_intracomm;
+  rc = MPI_Intercomm_merge(temp_intercomm, /*high=*/0, &unorder_intracomm);
+  out.timings.merge += MPI_Wtime() - t0;
+  if (rc != MPI_SUCCESS) return rc;
+
+  int shrunken_size = 0;
+  MPI_Comm_size(shrunken, &shrunken_size);
+  int new_rank = 0;
+  MPI_Comm_rank(unorder_intracomm, &new_rank);
+
+  // Rank 0 ships each child its old (failed) rank.
+  if (new_rank == 0) {
+    for (int i = 0; i < total_failed; ++i) {
+      const int child = shrunken_size + i;
+      rc = MPI_Send(&failed_ranks[static_cast<size_t>(i)], 1, MPI_INT, child, kMergeTag,
+                    unorder_intracomm);
+      if (rc != MPI_SUCCESS) return rc;
+    }
+  }
+
+  // Ordered split restores the original rank layout (Fig. 7 keys).
+  const int rank_key = select_rank_key(new_rank, shrunken_size, failed_ranks, total_procs);
+  t0 = MPI_Wtime();
+  MPI_Comm repaired;
+  rc = MPI_Comm_split(unorder_intracomm, 0, rank_key, &repaired);
+  out.timings.split += MPI_Wtime() - t0;
+  if (rc != MPI_SUCCESS) return rc;
+  out.comm = repaired;
+  return MPI_SUCCESS;
+}
+
+ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
+  // Fig. 3: communicatorReconstruct.
+  ReconstructResult out;
+  const double t_start = MPI_Wtime();
+
+  MPI_Errhandler new_err_hand;
+  MPI_Comm_create_errhandler(mpi_error_handler, &new_err_hand);
+  MPI_Comm parent;
+  MPI_Comm_get_parent(&parent);
+
+  MPI_Comm reconstructed = my_world;
+  int iter_counter = 0;
+  bool failure = false;
+  do {
+    failure = false;
+    int return_value = MPI_SUCCESS;
+    if (parent.is_null()) {
+      // Parent path.
+      if (iter_counter == 0) reconstructed = my_world;
+      MPI_Comm_set_errhandler(reconstructed, new_err_hand);
+      int flag = 1;
+      const double t_detect = MPI_Wtime();
+      OMPI_Comm_agree(reconstructed, &flag);          // synchronize
+      return_value = MPI_Barrier(reconstructed);       // detect failure
+      if (return_value != MPI_SUCCESS) {
+        // Failure identification (Fig. 8a): the collective work of reaching
+        // globally consistent failure knowledge — agree + the detecting
+        // barrier + the error-handler acks — plus the group-difference
+        // bookkeeping added by repair() below.
+        out.timings.failed_list += MPI_Wtime() - t_detect;
+        MPI_Comm repaired;
+        const int rc = repair(reconstructed, out);
+        repaired = out.comm;
+        if (rc == MPI_SUCCESS) {
+          reconstructed = repaired;
+          out.repaired = true;
+        } else {
+          FTR_ERROR("reconstruct: repair failed with code %d", rc);
+        }
+        failure = true;
+      }
+    } else {
+      // Child path: a freshly spawned replacement process.
+      MPI_Comm_set_errhandler(parent, new_err_hand);
+      int flag = 1;
+      OMPI_Comm_agree(parent, &flag);  // synchronize (child part)
+
+      MPI_Comm unorder_intracomm;
+      MPI_Intercomm_merge(parent, /*high=*/1, &unorder_intracomm);
+
+      int old_rank = -1;
+      MPI_Status status;
+      MPI_Recv(&old_rank, 1, MPI_INT, 0, kMergeTag, unorder_intracomm, &status);
+
+      MPI_Comm temp_intracomm;
+      MPI_Comm_split(unorder_intracomm, 0, old_rank, &temp_intracomm);
+      reconstructed = temp_intracomm;
+      out.repaired = true;
+
+      // Become a parent: next iteration verifies the repaired communicator.
+      parent = MPI_COMM_NULL;
+      ftmpi::set_parent(MPI_COMM_NULL);
+      failure = true;
+    }
+    ++iter_counter;
+  } while (failure);
+
+  out.comm = reconstructed;
+  out.iterations = iter_counter;
+  out.timings.total = MPI_Wtime() - t_start;
+  return out;
+}
+
+}  // namespace ftr::core

@@ -1,0 +1,332 @@
+#pragma once
+// Public API of the simulated fault-tolerant MPI runtime.
+//
+// The surface mirrors the MPI-2 subset plus the draft ULFM extensions used
+// by the paper's recovery protocol:
+//
+//   MPI                      ftmpi
+//   ----------------------   ------------------------------------------
+//   MPI_Comm_rank/size       Comm::rank()/size(), or compat wrappers
+//   MPI_Send/Recv            send()/recv()
+//   MPI_Barrier/Bcast/...    barrier()/bcast()/reduce()/gather()/...
+//   MPI_Comm_split/dup       comm_split()/comm_dup()
+//   MPI_Comm_spawn_multiple  comm_spawn_multiple()
+//   MPI_Intercomm_merge      intercomm_merge()
+//   MPI_Comm_get_parent      get_parent()
+//   OMPI_Comm_revoke         comm_revoke()
+//   OMPI_Comm_shrink         comm_shrink()
+//   OMPI_Comm_agree          comm_agree()
+//   OMPI_Comm_failure_ack    comm_failure_ack()
+//   OMPI_Comm_failure_get_acked  comm_failure_get_acked()
+//   MPI_Wtime                wtime()  (virtual time; see cost_model.hpp)
+//
+// All functions must be called from a rank thread (inside Runtime::run).
+// Error handling follows ULFM practice: calls return an error code; if an
+// error handler has been attached to the communicator it is invoked first.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ftmpi/comm.hpp"
+#include "ftmpi/runtime.hpp"
+#include "ftmpi/types.hpp"
+
+namespace ftmpi {
+
+// --- environment ------------------------------------------------------------
+
+/// This process's MPI_COMM_WORLD handle (cached: error handlers attached to
+/// it persist).  For spawned processes this is the world of their spawn
+/// group, as in MPI.
+Comm& world();
+
+/// The intercommunicator to the spawner, or a null Comm for initial
+/// processes (MPI_Comm_get_parent).
+Comm& get_parent();
+
+/// Overwrite the cached parent handle (the paper's protocol sets
+/// parent = MPI_COMM_NULL when a repaired child becomes a regular parent).
+void set_parent(const Comm& parent);
+
+/// Virtual time of the calling process (MPI_Wtime).
+double wtime();
+
+/// Charge `seconds` of modeled compute time to the calling process.
+void advance(double seconds);
+
+/// Charge `flops / flops_rate` seconds of modeled compute time.
+void charge_flops(double flops);
+
+/// Charge one simulated disk write/read of `bytes` (checkpointing I/O).
+void charge_disk_write(std::size_t bytes);
+void charge_disk_read(std::size_t bytes);
+
+/// Self-kill, equivalent to the paper's kill(getpid(), SIGKILL) failure
+/// injection.  Marks the process dead and unwinds immediately; never returns.
+[[noreturn]] void abort_self();
+
+/// Pid of the calling process (for Runtime::kill from harness code).
+ProcId self_pid();
+
+/// The Runtime the calling rank thread belongs to.
+Runtime& runtime();
+
+// --- error handling -----------------------------------------------------------
+
+/// Attach an error handler (MPI_Comm_set_errhandler with a user handler
+/// created by MPI_Comm_create_errhandler).  Pass an empty function for
+/// MPI_ERRORS_RETURN (the default).
+int comm_set_errhandler(const Comm& c, ErrhandlerFn handler);
+
+/// Invoke the communicator's error handler for `code` (when != success) and
+/// return `code`.  Exposed for protocol code built on top of the raw byte
+/// primitives.
+int finish(const Comm& c, int code);
+
+// --- point-to-point -----------------------------------------------------------
+
+int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c);
+int recv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+               Status* status = nullptr);
+
+template <class T>
+int send(const T* buf, int count, int dest, int tag, const Comm& c) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return send_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), dest, tag, c);
+}
+
+template <class T>
+int recv(T* buf, int count, int src, int tag, const Comm& c, Status* status = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return recv_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), src, tag, c, status);
+}
+
+// --- nonblocking point-to-point / probe ------------------------------------------
+// Sends are eager, so isend completes immediately; irecv defers matching to
+// wait/test (same virtual-time outcome as a progressing receive — see
+// request.hpp).
+
+class Request;
+
+int isend_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c,
+                Request* req);
+int irecv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+                Request* req);
+/// Complete a request (blocking for receives).
+int wait(Request* req, Status* status = nullptr);
+int waitall(Request* reqs, int count, Status* statuses = nullptr);
+/// Nonblocking completion check; *flag = 1 when the request completed.
+int test(Request* req, int* flag, Status* status = nullptr);
+
+/// Nonblocking / blocking message probe (MPI_Iprobe / MPI_Probe).
+int iprobe(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
+int probe(int src, int tag, const Comm& c, Status* status = nullptr);
+
+/// MPI_Sendrecv equivalent.
+int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,
+                   void* recv_buf, std::size_t recv_max, int src, int recv_tag,
+                   const Comm& c, Status* status = nullptr);
+
+template <class T>
+int isend(const T* buf, int count, int dest, int tag, const Comm& c, Request* req) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return isend_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), dest, tag, c, req);
+}
+
+template <class T>
+int irecv(T* buf, int count, int src, int tag, const Comm& c, Request* req) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return irecv_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), src, tag, c, req);
+}
+
+template <class T>
+int sendrecv(const T* send_buf, int send_count, int dest, int send_tag, T* recv_buf,
+             int recv_count, int src, int recv_tag, const Comm& c,
+             Status* status = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return sendrecv_bytes(send_buf, sizeof(T) * static_cast<std::size_t>(send_count), dest,
+                        send_tag, recv_buf,
+                        sizeof(T) * static_cast<std::size_t>(recv_count), src, recv_tag, c,
+                        status);
+}
+
+// --- collectives ----------------------------------------------------------------
+// Root-coordinated implementations.  Their failure reporting is near-uniform
+// (the root aggregates the outcome), which is what the paper's detection
+// step (Fig. 3 line 13) relies on.
+
+int barrier(const Comm& c);
+
+int bcast_bytes(void* buf, std::size_t n, int root, const Comm& c);
+/// Variable-size gather: rank r's payload lands in (*out)[r] at the root.
+int gather_bytes(const void* data, std::size_t n, std::vector<std::vector<std::byte>>* out,
+                 int root, const Comm& c);
+
+template <class T>
+int bcast(T* buf, int count, int root, const Comm& c) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return bcast_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), root, c);
+}
+
+template <class T>
+int gather(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::vector<std::byte>> parts;
+  const int rc = gather_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count),
+                              c.rank() == root ? &parts : nullptr, root, c);
+  if (rc == kSuccess && c.rank() == root) {
+    for (int r = 0; r < c.size(); ++r) {
+      std::memcpy(recvbuf + static_cast<std::size_t>(r) * static_cast<std::size_t>(count),
+                  parts[static_cast<size_t>(r)].data(),
+                  std::min(parts[static_cast<size_t>(r)].size(),
+                           sizeof(T) * static_cast<std::size_t>(count)));
+    }
+  }
+  return rc;
+}
+
+/// Gather variable-length vectors (convenience; MPI_Gatherv equivalent).
+template <class T>
+int gatherv(const std::vector<T>& sendbuf, std::vector<std::vector<T>>* recv_parts,
+            int root, const Comm& c) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::vector<std::byte>> parts;
+  const int rc = gather_bytes(sendbuf.data(), sizeof(T) * sendbuf.size(),
+                              c.rank() == root ? &parts : nullptr, root, c);
+  if (rc == kSuccess && c.rank() == root && recv_parts != nullptr) {
+    recv_parts->clear();
+    recv_parts->reserve(parts.size());
+    for (auto& p : parts) {
+      std::vector<T> v(p.size() / sizeof(T));
+      std::memcpy(v.data(), p.data(), v.size() * sizeof(T));
+      recv_parts->push_back(std::move(v));
+    }
+  }
+  return rc;
+}
+
+namespace detail_reduce {
+template <class T>
+T combine(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::Sum: return static_cast<T>(a + b);
+    case ReduceOp::Max: return std::max(a, b);
+    case ReduceOp::Min: return std::min(a, b);
+    case ReduceOp::LogicalAnd: return static_cast<T>((a != T{}) && (b != T{}));
+    case ReduceOp::LogicalOr: return static_cast<T>((a != T{}) || (b != T{}));
+  }
+  return a;
+}
+}  // namespace detail_reduce
+
+template <class T>
+int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, int root, const Comm& c) {
+  static_assert(std::is_arithmetic_v<T>);
+  std::vector<std::vector<std::byte>> parts;
+  const int rc = gather_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count),
+                              c.rank() == root ? &parts : nullptr, root, c);
+  if (rc != kSuccess) return rc;
+  if (c.rank() == root) {
+    for (int i = 0; i < count; ++i) recvbuf[i] = sendbuf[i];
+    for (int r = 0; r < c.size(); ++r) {
+      if (r == root) continue;
+      const auto& p = parts[static_cast<size_t>(r)];
+      for (int i = 0; i < count; ++i) {
+        T v{};
+        std::memcpy(&v, p.data() + sizeof(T) * static_cast<std::size_t>(i), sizeof(T));
+        recvbuf[i] = detail_reduce::combine(op, recvbuf[i], v);
+      }
+    }
+  }
+  return kSuccess;
+}
+
+template <class T>
+int allreduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, const Comm& c) {
+  int rc = reduce(sendbuf, recvbuf, count, op, 0, c);
+  if (rc != kSuccess) return rc;
+  return bcast(recvbuf, count, 0, c);
+}
+
+template <class T>
+int allgather(const T* sendbuf, int count, T* recvbuf, const Comm& c) {
+  int rc = gather(sendbuf, count, recvbuf, 0, c);
+  if (rc != kSuccess) return rc;
+  return bcast(recvbuf, count * c.size(), 0, c);
+}
+
+/// Root distributes fixed-size per-rank slices (MPI_Scatter).  `send` is
+/// significant at the root only; each rank receives `per_rank` bytes.
+int scatter_bytes(const void* send, std::size_t per_rank, void* recv, int root,
+                  const Comm& c);
+/// Variable-size scatter: one buffer per rank at the root (MPI_Scatterv).
+int scatterv_bytes(const std::vector<std::vector<std::byte>>& parts,
+                   std::vector<std::byte>* recv, int root, const Comm& c);
+
+template <class T>
+int scatter(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return scatter_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count), recvbuf, root,
+                       c);
+}
+
+/// Release a communicator handle (MPI_Comm_free).  Contexts are reference
+/// counted through shared ownership; the handle becomes null.
+int comm_free(Comm* c);
+
+/// Human-readable name of an ftmpi error code (MPI_Error_string).
+const char* error_string(int code);
+
+// --- communicator management ---------------------------------------------------
+
+inline constexpr int kUndefinedColor = -1;  ///< MPI_UNDEFINED for comm_split
+
+int comm_split(const Comm& c, int color, int key, Comm* out);
+int comm_dup(const Comm& c, Comm* out);
+
+/// The local group of the communicator (MPI_Comm_group).
+Group comm_group(const Comm& c);
+
+// --- dynamic processes ----------------------------------------------------------
+
+/// One command of MPI_Comm_spawn_multiple.
+struct SpawnUnit {
+  std::string command;             ///< registered application name
+  std::vector<std::string> argv;
+  int maxprocs = 1;
+  int host = -1;                   ///< MPI_Info "host" hint; -1 = any free slot
+};
+
+/// Collective over `c`.  The root launches the processes; everyone receives
+/// the parent-side intercommunicator in *intercomm.
+int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Comm& c,
+                        Comm* intercomm, std::vector<int>* errcodes = nullptr);
+
+/// MPI_Intercomm_merge.  The side passing high=false is ordered first.
+int intercomm_merge(const Comm& inter, bool high, Comm* out);
+
+// --- ULFM extensions -------------------------------------------------------------
+
+/// OMPI_Comm_revoke: mark the communicator revoked everywhere; all pending
+/// and future operations on it (except shrink/agree) fail with kErrRevoked.
+int comm_revoke(const Comm& c);
+
+/// OMPI_Comm_shrink: build a new communicator from the surviving members,
+/// preserving their relative rank order.  Works on revoked communicators.
+int comm_shrink(const Comm& c, Comm* out);
+
+/// OMPI_Comm_agree: fault-tolerant agreement on the bitwise AND of *flag.
+/// Returns kErrProcFailed (uniformly) when the communicator contains dead
+/// members not yet acknowledged by this process, but still sets *flag.
+int comm_agree(const Comm& c, int* flag);
+
+/// OMPI_Comm_failure_ack: acknowledge all currently-known failures.
+int comm_failure_ack(const Comm& c);
+
+/// OMPI_Comm_failure_get_acked: group of acknowledged failed processes.
+int comm_failure_get_acked(const Comm& c, Group* failed);
+
+}  // namespace ftmpi

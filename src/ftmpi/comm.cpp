@@ -1,0 +1,38 @@
+#include "ftmpi/comm.hpp"
+
+#include <set>
+
+namespace ftmpi {
+
+GroupOrder group_compare(const Group& a, const Group& b) {
+  if (a.pids == b.pids) return GroupOrder::Ident;
+  if (a.pids.size() != b.pids.size()) return GroupOrder::Unequal;
+  const std::set<ProcId> sa(a.pids.begin(), a.pids.end());
+  const std::set<ProcId> sb(b.pids.begin(), b.pids.end());
+  return sa == sb ? GroupOrder::Similar : GroupOrder::Unequal;
+}
+
+Group group_difference(const Group& a, const Group& b) {
+  Group out;
+  const std::set<ProcId> sb(b.pids.begin(), b.pids.end());
+  for (ProcId p : a.pids) {
+    if (sb.count(p) == 0) out.pids.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> group_translate_ranks(const Group& a, const std::vector<int>& ranks_in_a,
+                                       const Group& b) {
+  std::vector<int> out;
+  out.reserve(ranks_in_a.size());
+  for (int r : ranks_in_a) {
+    if (r < 0 || r >= a.size()) {
+      out.push_back(-1);
+      continue;
+    }
+    out.push_back(b.rank_of(a.pids[static_cast<size_t>(r)]));
+  }
+  return out;
+}
+
+}  // namespace ftmpi

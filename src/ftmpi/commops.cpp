@@ -1,0 +1,138 @@
+// Communicator management: split, dup, group access, error handlers.
+
+#include <algorithm>
+#include <map>
+
+#include "ftmpi/api.hpp"
+#include "ftmpi/detail.hpp"
+
+namespace ftmpi {
+
+int comm_set_errhandler(const Comm& c, ErrhandlerFn handler) {
+  if (c.is_null()) return kErrComm;
+  c.local().errhandler = std::move(handler);
+  return kSuccess;
+}
+
+Group comm_group(const Comm& c) { return c.is_null() ? Group{} : c.group(); }
+
+namespace {
+
+struct SplitRequest {
+  int color;
+  int key;
+  int rank;
+};
+
+struct SplitReply {
+  int outcome;
+  std::uint64_t ctx_id;  // 0 = undefined color (null comm)
+};
+
+}  // namespace
+
+int comm_split(const Comm& c, int color, int key, Comm* out) {
+  detail::check_alive();
+  *out = Comm{};
+  if (c.is_null() || c.is_inter()) return kErrComm;
+  if (c.is_revoked()) return finish(c, kErrRevoked);
+
+  const std::uint64_t id = c.context()->id;
+  const Group& g = c.group();
+  const ProcessState& me = detail::self();
+  detail::RecvOpts opts;
+  opts.revoke_ctx = c.context();
+
+  if (c.rank() == 0) {
+    // Collect (color, key) from every member; any failure aborts the split
+    // uniformly (MPI_Comm_split requires full participation).
+    std::vector<SplitRequest> reqs(static_cast<size_t>(g.size()));
+    reqs[0] = {color, key, 0};
+    int outcome = kSuccess;
+    for (int r = 1; r < g.size(); ++r) {
+      std::vector<std::byte> payload;
+      const int st =
+          detail::ctrl_recv(g.pids[static_cast<size_t>(r)], id, tags::kSplitUp, &payload, opts);
+      if (st == kErrRevoked) return finish(c, st);
+      if (st != kSuccess) {
+        outcome = kErrProcFailed;
+        continue;
+      }
+      reqs[static_cast<size_t>(r)] = detail::unpack<SplitRequest>(payload);
+      reqs[static_cast<size_t>(r)].rank = r;
+    }
+
+    std::map<int, std::uint64_t> ctx_of_color;
+    std::vector<SplitReply> replies(static_cast<size_t>(g.size()), {outcome, 0});
+    if (outcome == kSuccess) {
+      // Group members by color; order each new communicator by (key, rank).
+      std::map<int, std::vector<SplitRequest>> by_color;
+      for (const auto& rq : reqs) {
+        if (rq.color != kUndefinedColor) by_color[rq.color].push_back(rq);
+      }
+      for (auto& [col, members] : by_color) {
+        std::stable_sort(members.begin(), members.end(),
+                         [](const SplitRequest& a, const SplitRequest& b) {
+                           return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                         });
+        Group ng;
+        for (const auto& rq : members) {
+          ng.pids.push_back(g.pids[static_cast<size_t>(rq.rank)]);
+        }
+        ctx_of_color[col] = detail::rt().create_context(std::move(ng))->id;
+      }
+      for (int r = 0; r < g.size(); ++r) {
+        const int col = reqs[static_cast<size_t>(r)].color;
+        replies[static_cast<size_t>(r)] = {
+            kSuccess, col == kUndefinedColor ? 0 : ctx_of_color[col]};
+      }
+    }
+    for (int r = 1; r < g.size(); ++r) {
+      detail::ctrl_send(g.pids[static_cast<size_t>(r)], id, tags::kSplitDown,
+                        &replies[static_cast<size_t>(r)], sizeof(SplitReply));
+    }
+    if (outcome == kSuccess && color != kUndefinedColor) {
+      *out = Comm(detail::rt().find_context(ctx_of_color[color]), 0, me.pid);
+    }
+    if (outcome == kSuccess) {
+      detail::rt().trace().record(detail::now(), me.pid, TraceEvent::Split,
+                                  static_cast<long long>(ctx_of_color.size()));
+    }
+    return finish(c, outcome);
+  }
+
+  const SplitRequest rq{color, key, c.rank()};
+  int rc = detail::ctrl_send(g.pids[0], id, tags::kSplitUp, &rq, sizeof(rq));
+  if (rc != kSuccess) return finish(c, kErrProcFailed);
+  std::vector<std::byte> payload;
+  rc = detail::ctrl_recv(g.pids[0], id, tags::kSplitDown, &payload, opts);
+  if (rc != kSuccess) return finish(c, rc == kErrRevoked ? rc : kErrProcFailed);
+  const auto reply = detail::unpack<SplitReply>(payload);
+  if (reply.outcome == kSuccess && reply.ctx_id != 0) {
+    *out = Comm(detail::rt().find_context(reply.ctx_id), 0, me.pid);
+  }
+  return finish(c, reply.outcome);
+}
+
+int comm_dup(const Comm& c, Comm* out) { return comm_split(c, 0, c.rank(), out); }
+
+int comm_free(Comm* c) {
+  if (c == nullptr) return kErrArg;
+  *c = Comm{};
+  return kSuccess;
+}
+
+const char* error_string(int code) {
+  switch (code) {
+    case kSuccess: return "MPI_SUCCESS";
+    case kErrComm: return "MPI_ERR_COMM: invalid communicator";
+    case kErrArg: return "MPI_ERR_ARG: invalid argument";
+    case kErrProcFailed: return "MPI_ERR_PROC_FAILED: a peer process has failed";
+    case kErrRevoked: return "MPI_ERR_REVOKED: the communicator has been revoked";
+    case kErrPending: return "MPI_ERR_PENDING";
+    case kErrOther: return "MPI_ERR_OTHER";
+  }
+  return "unknown error code";
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,94 @@
+#pragma once
+// Internal plumbing shared by the ftmpi API translation units.  Not part of
+// the public surface.
+//
+// Two message planes share each process mailbox:
+//   - the *control plane* (ctrl_send / ctrl_recv): pid-addressed, reserved
+//     tags, used by every internal protocol (collectives, split, shrink,
+//     agree, spawn, merge);
+//   - the *user plane* (send_bytes / recv_bytes in api.hpp): rank-addressed
+//     with user tags >= 0.
+// Keeping the planes separate means a user wildcard receive can never
+// swallow protocol traffic.
+
+#include <cstring>
+#include <vector>
+
+#include "ftmpi/runtime.hpp"
+#include "ftmpi/types.hpp"
+
+namespace ftmpi::detail {
+
+/// The calling thread's process state; aborts if called off a rank thread.
+ProcessState& self();
+
+/// The calling thread's runtime.
+Runtime& rt();
+
+/// Throw ProcessKilled if this process has been killed (fail-stop unwind).
+void check_alive();
+
+/// Charge `seconds` of virtual time to the calling process.
+void charge(double seconds);
+
+/// Current virtual time of the calling process.
+double now();
+
+struct RecvOpts {
+  /// When set, a revocation of `revoke_ctx` interrupts the wait with
+  /// kErrRevoked (user-facing operations).  Shrink/agree, which must operate
+  /// on revoked communicators, leave it null.
+  CommContext* revoke_ctx = nullptr;
+};
+
+/// Eagerly send a control message to `dst`.  Returns kErrProcFailed when the
+/// destination is already dead.  Never blocks.
+int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::size_t n);
+
+/// Blocking control receive matched by exact (ctx, tag, src pid).
+/// Fails with kErrProcFailed when `src` is (or becomes) dead and no matching
+/// message is buffered, after charging the failure-detection latency.
+int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* out,
+              const RecvOpts& opts = {});
+
+/// Blocking control receive from any source on (ctx, tag).
+/// `watch` lists the pids that may legitimately send; the call fails if all
+/// of them are dead and nothing matched.
+int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
+                  std::vector<std::byte>* out, ProcId* src, const RecvOpts& opts = {});
+
+// --- trivially-copyable packing helpers -----------------------------------
+
+template <class T>
+std::vector<std::byte> pack(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <class T>
+T unpack(const std::vector<std::byte>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  std::memcpy(&v, bytes.data(), std::min(sizeof(T), bytes.size()));
+  return v;
+}
+
+template <class T>
+std::vector<T> unpack_vec(const std::vector<std::byte>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> v(bytes.size() / sizeof(T));
+  std::memcpy(v.data(), bytes.data(), v.size() * sizeof(T));
+  return v;
+}
+
+/// Charge the virtual cost of `rounds` full gather+release exchanges between
+/// a coordinator and `nprocs-1` peers without sending real messages.  The
+/// coordinator calls this before distributing results, so the inflated clock
+/// propagates to every peer through the arrival time of the result message.
+/// Used to model chatty draft-ULFM internals (shrink consensus rounds, spawn
+/// handshakes) at the right asymptotic cost.
+void charge_coordinator_rounds(int rounds, int nprocs, bool cross_host = true);
+
+}  // namespace ftmpi::detail

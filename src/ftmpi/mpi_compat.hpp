@@ -1,0 +1,353 @@
+#pragma once
+// C-style MPI/ULFM compatibility layer.
+//
+// The paper's recovery protocol (Figs. 3-7) is written against the ULFM
+// C API.  This header exposes the ftmpi runtime under the same names and
+// calling conventions, so the reconstruction code in src/core/reconstruct.cpp
+// reads like the paper's pseudocode.  Bring the names into scope with
+// `using namespace ftmpi::compat;`.
+//
+// Differences from real MPI, all deliberate:
+//   - MPI_Comm is a value handle (copyable struct), not an opaque int;
+//   - datatypes are the enum below; only the types the solver needs exist;
+//   - MPI_Comm_spawn_multiple takes per-command argv vectors instead of
+//     char*** (memory-safe equivalent of the same information);
+//   - MPI_Info carries only the "host" key, as that is all the paper uses.
+
+#include <string>
+#include <vector>
+
+#include "ftmpi/api.hpp"
+
+namespace ftmpi::compat {
+
+using MPI_Comm = ::ftmpi::Comm;
+using MPI_Group = ::ftmpi::Group;
+using MPI_Status = ::ftmpi::Status;
+
+inline const MPI_Comm MPI_COMM_NULL{};
+
+// Error classes.
+inline constexpr int MPI_SUCCESS = ::ftmpi::kSuccess;
+inline constexpr int MPI_ERR_COMM = ::ftmpi::kErrComm;
+inline constexpr int MPI_ERR_ARG = ::ftmpi::kErrArg;
+inline constexpr int MPI_ERR_PROC_FAILED = ::ftmpi::kErrProcFailed;
+inline constexpr int MPI_ERR_REVOKED = ::ftmpi::kErrRevoked;
+
+// Wildcards and misc constants.
+inline constexpr int MPI_ANY_SOURCE = ::ftmpi::kAnySource;
+inline constexpr int MPI_ANY_TAG = ::ftmpi::kAnyTag;
+inline constexpr int MPI_UNDEFINED = ::ftmpi::kUndefinedColor;
+inline int* const MPI_ERRCODES_IGNORE = nullptr;
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+
+// Group comparison results.
+inline constexpr int MPI_IDENT = 0;
+inline constexpr int MPI_SIMILAR = 1;
+inline constexpr int MPI_UNEQUAL = 2;
+
+enum MPI_Datatype { MPI_INT, MPI_DOUBLE, MPI_BYTE, MPI_LONG, MPI_UINT64_T };
+
+inline std::size_t mpi_type_size(MPI_Datatype t) {
+  switch (t) {
+    case MPI_INT: return sizeof(int);
+    case MPI_DOUBLE: return sizeof(double);
+    case MPI_BYTE: return 1;
+    case MPI_LONG: return sizeof(long);
+    case MPI_UINT64_T: return sizeof(std::uint64_t);
+  }
+  return 1;
+}
+
+enum MPI_Op { MPI_SUM, MPI_MAX, MPI_MIN, MPI_LAND, MPI_LOR };
+
+inline ::ftmpi::ReduceOp to_reduce_op(MPI_Op op) {
+  switch (op) {
+    case MPI_SUM: return ::ftmpi::ReduceOp::Sum;
+    case MPI_MAX: return ::ftmpi::ReduceOp::Max;
+    case MPI_MIN: return ::ftmpi::ReduceOp::Min;
+    case MPI_LAND: return ::ftmpi::ReduceOp::LogicalAnd;
+    case MPI_LOR: return ::ftmpi::ReduceOp::LogicalOr;
+  }
+  return ::ftmpi::ReduceOp::Sum;
+}
+
+// --- error handlers ----------------------------------------------------------
+
+/// The paper's handler signature: void handler(MPI_Comm* comm, int* error, ...).
+using MPI_Comm_errhandler_function = void (*)(MPI_Comm* comm, int* error_code);
+struct MPI_Errhandler {
+  MPI_Comm_errhandler_function fn = nullptr;
+};
+
+inline int MPI_Comm_create_errhandler(MPI_Comm_errhandler_function fn, MPI_Errhandler* eh) {
+  eh->fn = fn;
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Comm_set_errhandler(const MPI_Comm& comm, MPI_Errhandler eh) {
+  if (eh.fn == nullptr) return ::ftmpi::comm_set_errhandler(comm, {});
+  auto fn = eh.fn;
+  return ::ftmpi::comm_set_errhandler(comm, [fn](MPI_Comm& c, int& code) { fn(&c, &code); });
+}
+
+// --- environment ----------------------------------------------------------------
+
+inline int MPI_Comm_rank(const MPI_Comm& comm, int* rank) {
+  *rank = comm.rank();
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Comm_size(const MPI_Comm& comm, int* size) {
+  *size = comm.size();
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Comm_get_parent(MPI_Comm* parent) {
+  *parent = ::ftmpi::get_parent();
+  return MPI_SUCCESS;
+}
+
+inline double MPI_Wtime() { return ::ftmpi::wtime(); }
+
+// --- point-to-point ---------------------------------------------------------------
+
+inline int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                    const MPI_Comm& comm) {
+  return ::ftmpi::send_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), dest,
+                             tag, comm);
+}
+
+inline int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                    const MPI_Comm& comm, MPI_Status* status = MPI_STATUS_IGNORE) {
+  return ::ftmpi::recv_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), source,
+                             tag, comm, status);
+}
+
+// --- nonblocking point-to-point and probe ------------------------------------------
+
+using MPI_Request = ::ftmpi::Request;
+
+inline int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                     const MPI_Comm& comm, MPI_Request* req) {
+  return ::ftmpi::isend_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count),
+                              dest, tag, comm, req);
+}
+
+inline int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                     const MPI_Comm& comm, MPI_Request* req) {
+  return ::ftmpi::irecv_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count),
+                              source, tag, comm, req);
+}
+
+inline int MPI_Wait(MPI_Request* req, MPI_Status* status = MPI_STATUS_IGNORE) {
+  return ::ftmpi::wait(req, status);
+}
+
+inline int MPI_Waitall(int count, MPI_Request* reqs, MPI_Status* statuses = nullptr) {
+  return ::ftmpi::waitall(reqs, count, statuses);
+}
+
+inline int MPI_Test(MPI_Request* req, int* flag, MPI_Status* status = MPI_STATUS_IGNORE) {
+  return ::ftmpi::test(req, flag, status);
+}
+
+inline int MPI_Probe(int source, int tag, const MPI_Comm& comm, MPI_Status* status) {
+  return ::ftmpi::probe(source, tag, comm, status);
+}
+
+inline int MPI_Iprobe(int source, int tag, const MPI_Comm& comm, int* flag,
+                      MPI_Status* status = MPI_STATUS_IGNORE) {
+  return ::ftmpi::iprobe(source, tag, comm, flag, status);
+}
+
+inline int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                        int dest, int sendtag, void* recvbuf, int recvcount,
+                        MPI_Datatype recvtype, int source, int recvtag,
+                        const MPI_Comm& comm, MPI_Status* status = MPI_STATUS_IGNORE) {
+  return ::ftmpi::sendrecv_bytes(
+      sendbuf, mpi_type_size(sendtype) * static_cast<std::size_t>(sendcount), dest, sendtag,
+      recvbuf, mpi_type_size(recvtype) * static_cast<std::size_t>(recvcount), source,
+      recvtag, comm, status);
+}
+
+// --- collectives ---------------------------------------------------------------------
+
+inline int MPI_Barrier(const MPI_Comm& comm) { return ::ftmpi::barrier(comm); }
+
+inline int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, const MPI_Comm& comm) {
+  return ::ftmpi::bcast_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), root,
+                              comm);
+}
+
+inline int MPI_Allreduce(const double* sendbuf, double* recvbuf, int count, MPI_Op op,
+                         const MPI_Comm& comm) {
+  return ::ftmpi::allreduce(sendbuf, recvbuf, count, to_reduce_op(op), comm);
+}
+
+inline int MPI_Allreduce(const int* sendbuf, int* recvbuf, int count, MPI_Op op,
+                         const MPI_Comm& comm) {
+  return ::ftmpi::allreduce(sendbuf, recvbuf, count, to_reduce_op(op), comm);
+}
+
+// --- communicator / group management ---------------------------------------------------
+
+inline int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                      void* recvbuf, int /*recvcount*/, MPI_Datatype /*recvtype*/, int root,
+                      const MPI_Comm& comm) {
+  const std::size_t bytes = mpi_type_size(sendtype) * static_cast<std::size_t>(sendcount);
+  std::vector<std::vector<std::byte>> parts;
+  const int rc = ::ftmpi::gather_bytes(sendbuf, bytes,
+                                       comm.rank() == root ? &parts : nullptr, root, comm);
+  if (rc == MPI_SUCCESS && comm.rank() == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < comm.size(); ++r) {
+      std::memcpy(out + static_cast<std::size_t>(r) * bytes,
+                  parts[static_cast<std::size_t>(r)].data(),
+                  std::min(bytes, parts[static_cast<std::size_t>(r)].size()));
+    }
+  }
+  return rc;
+}
+
+inline int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                       void* recvbuf, int /*recvcount*/, MPI_Datatype /*recvtype*/,
+                       int root, const MPI_Comm& comm) {
+  return ::ftmpi::scatter_bytes(
+      sendbuf, mpi_type_size(sendtype) * static_cast<std::size_t>(sendcount), recvbuf, root,
+      comm);
+}
+
+inline int MPI_Comm_free(MPI_Comm* comm) { return ::ftmpi::comm_free(comm); }
+
+inline int MPI_Error_string(int errorcode, char* string, int* resultlen) {
+  const char* msg = ::ftmpi::error_string(errorcode);
+  const std::size_t n = std::char_traits<char>::length(msg);
+  std::memcpy(string, msg, n + 1);
+  if (resultlen != nullptr) *resultlen = static_cast<int>(n);
+  return MPI_SUCCESS;
+}
+
+/// MPI_Abort: fail-stop the calling process (the whole simulated job is not
+/// torn down — peers observe the failure, which is what ULFM applications
+/// test against).
+[[noreturn]] inline void MPI_Abort(const MPI_Comm& /*comm*/, int /*errorcode*/) {
+  ::ftmpi::abort_self();
+}
+
+/// Predefined error handlers.  MPI_ERRORS_RETURN is the runtime default;
+/// MPI_ERRORS_ARE_FATAL aborts the (simulated) process on any error.
+inline const MPI_Errhandler MPI_ERRORS_RETURN{};
+inline const MPI_Errhandler MPI_ERRORS_ARE_FATAL{
+    [](MPI_Comm*, int* error_code) {
+      if (*error_code != MPI_SUCCESS) ::ftmpi::abort_self();
+    }};
+
+inline int MPI_Comm_split(const MPI_Comm& comm, int color, int key, MPI_Comm* out) {
+  return ::ftmpi::comm_split(comm, color, key, out);
+}
+
+inline int MPI_Comm_dup(const MPI_Comm& comm, MPI_Comm* out) {
+  return ::ftmpi::comm_dup(comm, out);
+}
+
+inline int MPI_Comm_group(const MPI_Comm& comm, MPI_Group* group) {
+  *group = ::ftmpi::comm_group(comm);
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Group_size(const MPI_Group& g, int* size) {
+  *size = g.size();
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Group_compare(const MPI_Group& a, const MPI_Group& b, int* result) {
+  switch (::ftmpi::group_compare(a, b)) {
+    case ::ftmpi::GroupOrder::Ident: *result = MPI_IDENT; break;
+    case ::ftmpi::GroupOrder::Similar: *result = MPI_SIMILAR; break;
+    case ::ftmpi::GroupOrder::Unequal: *result = MPI_UNEQUAL; break;
+  }
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Group_difference(const MPI_Group& a, const MPI_Group& b, MPI_Group* out) {
+  *out = ::ftmpi::group_difference(a, b);
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Group_translate_ranks(const MPI_Group& a, int n, const int* ranks_a,
+                                     const MPI_Group& b, int* ranks_b) {
+  const std::vector<int> in(ranks_a, ranks_a + n);
+  const std::vector<int> out = ::ftmpi::group_translate_ranks(a, in, b);
+  for (int i = 0; i < n; ++i) ranks_b[i] = out[static_cast<size_t>(i)];
+  return MPI_SUCCESS;
+}
+
+// --- dynamic processes -------------------------------------------------------------------
+
+/// MPI_Info restricted to the "host" key (all the paper uses).
+struct MPI_Info {
+  int host = -1;
+};
+
+inline int MPI_Info_create(MPI_Info* info) {
+  *info = MPI_Info{};
+  return MPI_SUCCESS;
+}
+
+inline int MPI_Info_set_host(MPI_Info* info, int host_index) {
+  info->host = host_index;
+  return MPI_SUCCESS;
+}
+
+/// Memory-safe analog of MPI_Comm_spawn_multiple: count commands, each with
+/// its argv, process count and host info.
+inline int MPI_Comm_spawn_multiple(int count, const std::vector<std::string>& commands,
+                                   const std::vector<std::vector<std::string>>& argvs,
+                                   const std::vector<int>& maxprocs,
+                                   const std::vector<MPI_Info>& infos, int root,
+                                   const MPI_Comm& comm, MPI_Comm* intercomm,
+                                   int* errcodes = MPI_ERRCODES_IGNORE) {
+  std::vector<::ftmpi::SpawnUnit> units(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto& u = units[static_cast<size_t>(i)];
+    u.command = commands[static_cast<size_t>(i)];
+    u.argv = i < static_cast<int>(argvs.size()) ? argvs[static_cast<size_t>(i)]
+                                                : std::vector<std::string>{};
+    u.maxprocs = maxprocs[static_cast<size_t>(i)];
+    u.host = i < static_cast<int>(infos.size()) ? infos[static_cast<size_t>(i)].host : -1;
+  }
+  std::vector<int> codes;
+  const int rc = ::ftmpi::comm_spawn_multiple(units, root, comm, intercomm,
+                                              errcodes ? &codes : nullptr);
+  if (errcodes != nullptr) {
+    for (int i = 0; i < count; ++i) errcodes[i] = codes[static_cast<size_t>(i)];
+  }
+  return rc;
+}
+
+inline int MPI_Intercomm_merge(const MPI_Comm& intercomm, int high, MPI_Comm* out) {
+  return ::ftmpi::intercomm_merge(intercomm, high != 0, out);
+}
+
+// --- ULFM extensions ------------------------------------------------------------------------
+
+inline int OMPI_Comm_revoke(MPI_Comm* comm) { return ::ftmpi::comm_revoke(*comm); }
+
+inline int OMPI_Comm_shrink(const MPI_Comm& comm, MPI_Comm* out) {
+  return ::ftmpi::comm_shrink(comm, out);
+}
+
+inline int OMPI_Comm_agree(const MPI_Comm& comm, int* flag) {
+  return ::ftmpi::comm_agree(comm, flag);
+}
+
+inline int OMPI_Comm_failure_ack(const MPI_Comm& comm) {
+  return ::ftmpi::comm_failure_ack(comm);
+}
+
+inline int OMPI_Comm_failure_get_acked(const MPI_Comm& comm, MPI_Group* failed) {
+  return ::ftmpi::comm_failure_get_acked(comm, failed);
+}
+
+}  // namespace ftmpi::compat

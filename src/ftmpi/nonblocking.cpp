@@ -1,0 +1,147 @@
+// Nonblocking point-to-point, probe, and send-receive.
+
+#include "ftmpi/api.hpp"
+#include "ftmpi/detail.hpp"
+#include "ftmpi/request.hpp"
+
+namespace ftmpi {
+
+int isend_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c,
+                Request* req) {
+  // Eager transport: the send buffers at the destination immediately.
+  const int rc = send_bytes(data, n, dest, tag, c);
+  *req = Request{};
+  req->kind_ = Request::Kind::SendComplete;
+  req->send_result = rc;
+  return rc;
+}
+
+int irecv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+                Request* req) {
+  detail::check_alive();
+  if (c.is_null()) return kErrComm;
+  *req = Request{};
+  req->kind_ = Request::Kind::Recv;
+  req->comm = c;
+  req->buf = buf;
+  req->max_bytes = max_bytes;
+  req->source = src;
+  req->tag = tag;
+  return kSuccess;
+}
+
+int wait(Request* req, Status* status) {
+  detail::check_alive();
+  switch (req->kind_) {
+    case Request::Kind::Null:
+      return kSuccess;
+    case Request::Kind::SendComplete: {
+      const int rc = req->send_result;
+      *req = Request{};
+      return rc;
+    }
+    case Request::Kind::Recv: {
+      const int rc =
+          recv_bytes(req->buf, req->max_bytes, req->source, req->tag, req->comm, status);
+      *req = Request{};
+      return rc;
+    }
+  }
+  return kErrArg;
+}
+
+int waitall(Request* reqs, int count, Status* statuses) {
+  int outcome = kSuccess;
+  for (int i = 0; i < count; ++i) {
+    const int rc = wait(&reqs[i], statuses != nullptr ? &statuses[i] : nullptr);
+    if (rc != kSuccess && outcome == kSuccess) outcome = rc;
+  }
+  return outcome;
+}
+
+int test(Request* req, int* flag, Status* status) {
+  detail::check_alive();
+  *flag = 0;
+  switch (req->kind_) {
+    case Request::Kind::Null:
+    case Request::Kind::SendComplete:
+      *flag = 1;
+      return wait(req, status);
+    case Request::Kind::Recv: {
+      int available = 0;
+      const int rc = iprobe(req->source, req->tag, req->comm, &available, nullptr);
+      if (rc != kSuccess) {
+        // Probe surfaced a definitive condition (failed peer / revoked):
+        // complete the request with that outcome.
+        *flag = 1;
+        *req = Request{};
+        if (status != nullptr) status->error = rc;
+        return finish(req->comm, rc);
+      }
+      if (!available) return kSuccess;
+      *flag = 1;
+      return wait(req, status);
+    }
+  }
+  return kErrArg;
+}
+
+int iprobe(int src, int tag, const Comm& c, int* flag, Status* status) {
+  detail::check_alive();
+  *flag = 0;
+  if (c.is_null()) return kErrComm;
+  if (c.is_revoked()) return kErrRevoked;
+  ProcessState& ps = detail::self();
+  const std::uint64_t id = c.context()->id;
+  const int side = c.side();
+  const bool inter = c.is_inter();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  for (const Message& m : ps.mailbox) {
+    if (m.ctrl || m.ctx != id) continue;
+    if (tag == kAnyTag ? m.tag < 0 : m.tag != tag) continue;
+    if (src != kAnySource && m.src_rank != src) continue;
+    if (inter ? (m.src_side == side) : (m.src_side != side)) continue;
+    *flag = 1;
+    if (status != nullptr) {
+      status->source = m.src_rank;
+      status->tag = m.tag;
+      status->error = kSuccess;
+      status->count = static_cast<int>(m.payload.size());
+    }
+    return kSuccess;
+  }
+  // Nothing buffered; report a failed named peer so callers do not spin on
+  // a crashed sender.
+  if (src != kAnySource) {
+    const Group& senders = inter ? c.remote_group() : c.group();
+    const ProcId pid = senders.pids.at(static_cast<size_t>(src));
+    ProcessState& sender = detail::rt().proc(pid);
+    if (sender.dead.load() || sender.finished.load()) return kErrProcFailed;
+  }
+  return kSuccess;
+}
+
+int probe(int src, int tag, const Comm& c, Status* status) {
+  // Blocking probe: poll the mailbox under the wait loop's predicate rules.
+  for (;;) {
+    int flag = 0;
+    const int rc = iprobe(src, tag, c, &flag, status);
+    if (rc != kSuccess) return finish(c, rc);
+    if (flag) return kSuccess;
+    ProcessState& ps = detail::self();
+    std::unique_lock<std::mutex> lock(ps.mu);
+    if (ps.dead.load()) throw ProcessKilled{ps.pid};
+    ps.cv.wait(lock);
+  }
+}
+
+int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,
+                   void* recv_buf, std::size_t recv_max, int src, int recv_tag,
+                   const Comm& c, Status* status) {
+  // Eager sends cannot deadlock, so send-then-receive is safe.
+  const int src_rc = send_bytes(send_data, send_n, dest, send_tag, c);
+  const int rrc = recv_bytes(recv_buf, recv_max, src, recv_tag, c, status);
+  return rrc != kSuccess ? rrc : src_rc;
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,258 @@
+// Point-to-point messaging: the control plane (pid-addressed) and the user
+// plane (rank-addressed), plus the shared blocking wait loop.
+
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "ftmpi/api.hpp"
+#include "ftmpi/detail.hpp"
+
+namespace ftmpi {
+namespace detail {
+
+ProcessState& self() {
+  ProcessState* ps = Runtime::current();
+  assert(ps != nullptr && "ftmpi API called from a non-rank thread");
+  return *ps;
+}
+
+Runtime& rt() { return *self().rt; }
+
+void check_alive() {
+  ProcessState& ps = self();
+  if (ps.dead.load()) throw ProcessKilled{ps.pid};
+}
+
+void charge(double seconds) {
+  check_alive();
+  self().vclock += seconds;
+}
+
+double now() { return self().vclock; }
+
+void charge_coordinator_rounds(int rounds, int nprocs, bool cross_host) {
+  if (rounds <= 0 || nprocs <= 1) return;
+  const CostModel& cm = rt().cost();
+  const double per_round = 2.0 * cm.latency(!cross_host) +
+                           2.0 * static_cast<double>(nprocs - 1) *
+                               (cm.send_overhead + cm.recv_overhead) +
+                           static_cast<double>(nprocs) * cm.consensus_cost_per_proc;
+  charge(static_cast<double>(rounds) * per_round);
+}
+
+namespace {
+
+/// Compose and deliver one message; charges the sender and stamps the
+/// virtual arrival time.  The caller has verified the destination is alive
+/// (a late kill simply drops the message at delivery).
+void post(ProcId dst, Message msg, std::size_t bytes) {
+  ProcessState& ps = self();
+  Runtime& r = rt();
+  const CostModel& cm = r.cost();
+  const bool same_host = r.host_of(ps.pid) == r.host_of(dst);
+  ps.vclock += cm.send_overhead + cm.transfer_time(bytes, same_host);
+  msg.src_pid = ps.pid;
+  msg.arrive = ps.vclock + cm.latency(same_host);
+  r.record_message(bytes, !same_host);
+  r.deliver(dst, std::move(msg));
+}
+
+using MatchFn = bool (*)(const Message&, const void*);
+
+struct WaitSpec {
+  MatchFn match = nullptr;
+  const void* match_arg = nullptr;
+  /// Senders whose collective death makes the wait hopeless.
+  std::vector<ProcessState*> watch;
+  CommContext* revoke_ctx = nullptr;
+};
+
+/// The single blocking wait used by every receive path.  Only atomics and
+/// the owner's mailbox lock are touched inside the loop (no Runtime mutex),
+/// keeping the lock order acyclic with kill()/deliver().
+int wait_for_message(const WaitSpec& spec, Message* out) {
+  ProcessState& ps = self();
+  const CostModel& cm = ps.rt->cost();
+  std::unique_lock<std::mutex> lock(ps.mu);
+  for (;;) {
+    if (ps.dead.load()) throw ProcessKilled{ps.pid};
+    for (auto it = ps.mailbox.begin(); it != ps.mailbox.end(); ++it) {
+      if (spec.match(*it, spec.match_arg)) {
+        *out = std::move(*it);
+        ps.mailbox.erase(it);
+        ps.vclock = std::max(ps.vclock, out->arrive) + cm.recv_overhead;
+        return kSuccess;
+      }
+    }
+    if (spec.revoke_ctx != nullptr && spec.revoke_ctx->revoked.load()) {
+      return kErrRevoked;
+    }
+    if (!spec.watch.empty()) {
+      // A peer that exited without sending what we wait for can never
+      // satisfy this receive either; the RTE of a real MPI stack reports
+      // such peers just like crashed ones.
+      bool all_dead = true;
+      for (ProcessState* w : spec.watch) {
+        if (!w->dead.load() && !w->finished.load()) {
+          all_dead = false;
+          break;
+        }
+      }
+      if (all_dead) {
+        // Model the heartbeat/RTE delay before a real ULFM stack reports
+        // a peer as failed.
+        ps.vclock += cm.failure_detect_latency;
+        return kErrProcFailed;
+      }
+    }
+    ps.cv.wait(lock);
+  }
+}
+
+struct CtrlKey {
+  std::uint64_t ctx;
+  int tag;
+  ProcId src;  // kNullProc = any
+};
+
+bool ctrl_match(const Message& m, const void* arg) {
+  const auto* k = static_cast<const CtrlKey*>(arg);
+  return m.ctrl && m.ctx == k->ctx && m.tag == k->tag &&
+         (k->src == kNullProc || m.src_pid == k->src);
+}
+
+struct UserKey {
+  std::uint64_t ctx;
+  int tag;   // kAnyTag = any user tag
+  int src;   // kAnySource = any rank
+  int side;  // receiver's side
+  bool inter;
+};
+
+bool user_match(const Message& m, const void* arg) {
+  const auto* k = static_cast<const UserKey*>(arg);
+  if (m.ctrl || m.ctx != k->ctx) return false;
+  if (k->tag == kAnyTag ? m.tag < 0 : m.tag != k->tag) return false;
+  if (k->src != kAnySource && m.src_rank != k->src) return false;
+  // Intercommunicator traffic flows between sides; intracommunicator
+  // traffic stays on side 0.
+  return k->inter ? (m.src_side != k->side) : (m.src_side == k->side);
+}
+
+}  // namespace
+
+int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::size_t n) {
+  check_alive();
+  if (rt().is_dead(dst)) return kErrProcFailed;
+  Message msg;
+  msg.ctx = ctx;
+  msg.tag = tag;
+  msg.ctrl = true;
+  msg.payload.resize(n);
+  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+  post(dst, std::move(msg), n);
+  return kSuccess;
+}
+
+int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* out,
+              const RecvOpts& opts) {
+  check_alive();
+  const CtrlKey key{ctx, tag, src};
+  WaitSpec spec;
+  spec.match = ctrl_match;
+  spec.match_arg = &key;
+  spec.watch.push_back(&rt().proc(src));
+  spec.revoke_ctx = opts.revoke_ctx;
+  Message msg;
+  const int rc = wait_for_message(spec, &msg);
+  if (rc == kSuccess && out != nullptr) *out = std::move(msg.payload);
+  return rc;
+}
+
+int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
+                  std::vector<std::byte>* out, ProcId* src, const RecvOpts& opts) {
+  check_alive();
+  const CtrlKey key{ctx, tag, kNullProc};
+  WaitSpec spec;
+  spec.match = ctrl_match;
+  spec.match_arg = &key;
+  spec.watch.reserve(watch.size());
+  for (ProcId p : watch) spec.watch.push_back(&rt().proc(p));
+  spec.revoke_ctx = opts.revoke_ctx;
+  Message msg;
+  const int rc = wait_for_message(spec, &msg);
+  if (rc == kSuccess) {
+    if (out != nullptr) *out = std::move(msg.payload);
+    if (src != nullptr) *src = msg.src_pid;
+  }
+  return rc;
+}
+
+}  // namespace detail
+
+int finish(const Comm& c, int code) {
+  if (code != kSuccess && !c.is_null() && c.local().errhandler) {
+    Comm handle = c;
+    c.local().errhandler(handle, code);
+  }
+  return code;
+}
+
+int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c) {
+  detail::check_alive();
+  if (c.is_null()) return kErrComm;
+  if (tag < 0 || dest < 0 || dest >= (c.is_inter() ? c.remote_size() : c.size())) {
+    return finish(c, kErrArg);
+  }
+  if (c.is_revoked()) return finish(c, kErrRevoked);
+  const ProcId dpid = c.peer_pid(dest);
+  if (detail::rt().is_dead(dpid)) return finish(c, kErrProcFailed);
+  Message msg;
+  msg.ctx = c.context()->id;
+  msg.tag = tag;
+  msg.src_rank = c.rank();
+  msg.src_side = c.side();
+  msg.ctrl = false;
+  msg.payload.resize(n);
+  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+  detail::post(dpid, std::move(msg), n);
+  return kSuccess;
+}
+
+int recv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+               Status* status) {
+  detail::check_alive();
+  if (c.is_null()) return kErrComm;
+  if (c.is_revoked()) return finish(c, kErrRevoked);
+  const Group& senders = c.is_inter() ? c.remote_group() : c.group();
+  if (src != kAnySource && (src < 0 || src >= senders.size())) return finish(c, kErrArg);
+
+  const detail::UserKey key{c.context()->id, tag, src, c.side(), c.is_inter()};
+  detail::WaitSpec spec;
+  spec.match = detail::user_match;
+  spec.match_arg = &key;
+  spec.revoke_ctx = c.context();
+  if (src != kAnySource) {
+    spec.watch.push_back(&detail::rt().proc(senders.pids[static_cast<size_t>(src)]));
+  } else {
+    // A wildcard receive is hopeless only once *all* potential senders are
+    // dead; ULFM additionally raises an error as soon as any failure exists,
+    // but the paper's protocols never block a wildcard on a failed comm.
+    for (ProcId p : senders.pids) spec.watch.push_back(&detail::rt().proc(p));
+  }
+  Message msg;
+  const int rc = detail::wait_for_message(spec, &msg);
+  if (rc != kSuccess) return finish(c, rc);
+  const std::size_t n = std::min(max_bytes, msg.payload.size());
+  if (n > 0) std::memcpy(buf, msg.payload.data(), n);
+  if (status != nullptr) {
+    status->source = msg.src_rank;
+    status->tag = msg.tag;
+    status->error = msg.payload.size() > max_bytes ? kErrArg : kSuccess;
+    status->count = static_cast<int>(n);
+  }
+  return msg.payload.size() > max_bytes ? finish(c, kErrArg) : kSuccess;
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,401 @@
+#include "ftmpi/runtime.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.hpp"
+
+namespace ftmpi {
+
+namespace {
+thread_local ProcessState* tls_proc = nullptr;
+}  // namespace
+
+ProcessState* Runtime::current() { return tls_proc; }
+
+Runtime::Runtime(Options opt) : opt_(std::move(opt)) {
+  if (opt_.slots_per_host <= 0) opt_.slots_per_host = 1;
+  if (const char* env = std::getenv("FTR_TRACE"); env != nullptr && env[0] == '1') {
+    trace_.enable();
+  }
+}
+
+Runtime::~Runtime() {
+  // All threads were joined by run(); joining again here covers the case
+  // where a Runtime is destroyed after an aborted construction path.
+  // Join without holding mu_ (see run()).
+  std::vector<std::thread*> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& ps : procs_) {
+      if (ps->thread.joinable()) to_join.push_back(&ps->thread);
+    }
+  }
+  for (std::thread* t : to_join) t->join();
+}
+
+void Runtime::register_app(const std::string& name, EntryFn entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apps_[name] = std::move(entry);
+}
+
+std::pair<int, int> Runtime::allocate_slot_locked(int preferred_host) {
+  auto grow_to = [this](int h) {
+    while (static_cast<size_t>(h) >= hosts_.size()) {
+      hosts_.emplace_back(static_cast<size_t>(opt_.slots_per_host), false);
+      host_failed_.push_back(false);
+    }
+  };
+  auto find_free = [this](int h) -> int {
+    if (host_failed_[static_cast<size_t>(h)]) return -1;
+    for (int s = 0; s < opt_.slots_per_host; ++s) {
+      if (!hosts_[static_cast<size_t>(h)][static_cast<size_t>(s)]) return s;
+    }
+    return -1;
+  };
+  if (preferred_host >= 0) {
+    grow_to(preferred_host);
+    // A failed node's placement requests are redirected to one consistent
+    // spare host, so all of its replacements come up co-located (the
+    // paper's future-work node-failure scenario).
+    if (host_failed_[static_cast<size_t>(preferred_host)]) {
+      const auto it = host_substitute_.find(preferred_host);
+      if (it != host_substitute_.end()) {
+        preferred_host = it->second;
+      } else {
+        const int spare = static_cast<int>(hosts_.size());
+        grow_to(spare);
+        host_substitute_[preferred_host] = spare;
+        FTR_INFO("ftmpi: failed host %d substituted by spare host %d", preferred_host,
+                 spare);
+        preferred_host = spare;
+      }
+      grow_to(preferred_host);
+    }
+    const int s = find_free(preferred_host);
+    if (s >= 0) {
+      hosts_[static_cast<size_t>(preferred_host)][static_cast<size_t>(s)] = true;
+      return {preferred_host, s};
+    }
+    FTR_WARN("ftmpi: preferred host %d full; falling back to first free slot", preferred_host);
+  }
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    const int s = find_free(static_cast<int>(h));
+    if (s >= 0) {
+      hosts_[h][static_cast<size_t>(s)] = true;
+      return {static_cast<int>(h), s};
+    }
+  }
+  hosts_.emplace_back(static_cast<size_t>(opt_.slots_per_host), false);
+  host_failed_.push_back(false);
+  hosts_.back()[0] = true;
+  return {static_cast<int>(hosts_.size()) - 1, 0};
+}
+
+void Runtime::fail_host(int host) {
+  std::vector<ProcId> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (host < 0 || static_cast<size_t>(host) >= hosts_.size()) return;
+    host_failed_[static_cast<size_t>(host)] = true;
+    for (const auto& ps : procs_) {
+      if (ps->host == host && !ps->dead.load() && !ps->finished.load()) {
+        victims.push_back(ps->pid);
+      }
+    }
+  }
+  FTR_INFO("ftmpi: node failure on host %d kills %zu processes", host, victims.size());
+  trace_.record(0.0, kNullProc, TraceEvent::HostFail, host);
+  for (ProcId pid : victims) kill(pid);
+}
+
+bool Runtime::host_failed(int host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (host < 0 || static_cast<size_t>(host) >= host_failed_.size()) return false;
+  return host_failed_[static_cast<size_t>(host)];
+}
+
+std::vector<ProcId> Runtime::procs_on_host(int host) const {
+  std::vector<ProcId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ps : procs_) {
+    if (ps->host == host) out.push_back(ps->pid);
+  }
+  return out;
+}
+
+ProcId Runtime::create_process(const std::string& app, std::vector<std::string> argv,
+                               int preferred_host, double start_clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ps = std::make_unique<ProcessState>();
+  ps->rt = this;
+  ps->pid = static_cast<ProcId>(procs_.size());
+  ps->app = app;
+  ps->argv = std::move(argv);
+  ps->vclock = start_clock;
+  const auto [host, slot] = allocate_slot_locked(preferred_host);
+  ps->host = host;
+  ps->slot = slot;
+  procs_.push_back(std::move(ps));
+  return procs_.back()->pid;
+}
+
+void Runtime::start_process(ProcId pid) {
+  ProcessState* ps = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ps = procs_.at(static_cast<size_t>(pid)).get();
+    ++active_;
+  }
+  ps->thread = std::thread([this, ps] { thread_main(ps); });
+}
+
+void Runtime::thread_main(ProcessState* ps) {
+  tls_proc = ps;
+  EntryFn entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = apps_.find(ps->app);
+    if (it != apps_.end()) entry = it->second;
+  }
+  if (entry) {
+    try {
+      entry(ps->argv);
+    } catch (const ProcessKilled&) {
+      // Fail-stop unwind: the process executes nothing further.
+      FTR_DEBUG("ftmpi: pid %d terminated by kill", ps->pid);
+    } catch (const std::exception& e) {
+      FTR_ERROR("ftmpi: pid %d terminated by exception: %s", ps->pid, e.what());
+    }
+  } else {
+    FTR_ERROR("ftmpi: pid %d: no registered app named '%s'", ps->pid, ps->app.c_str());
+  }
+  ps->finished.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  done_cv_.notify_all();
+  // Peers blocked on this process must re-evaluate their wait predicates.
+  notify_all_procs();
+  tls_proc = nullptr;
+}
+
+int Runtime::run(const std::string& app, int world_size, std::vector<std::string> argv) {
+  if (world_size <= 0) return 0;
+  const int killed_before = killed_.load();
+
+  Group world_group;
+  std::vector<ProcId> pids;
+  pids.reserve(static_cast<size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    // The initial placement follows the paper's hostfile: rank r lands on
+    // host r / SLOTS.
+    const ProcId pid = create_process(app, argv, r / opt_.slots_per_host, 0.0);
+    pids.push_back(pid);
+    world_group.pids.push_back(pid);
+  }
+  const auto world = create_context(world_group);
+  for (int r = 0; r < world_size; ++r) {
+    auto& ps = proc(pids[static_cast<size_t>(r)]);
+    ps.world_ctx = world->id;
+    ps.world_rank = r;
+  }
+  for (ProcId pid : pids) start_process(pid);
+
+  // Wait for completion with a real-time watchdog: a protocol bug that
+  // deadlocks rank threads cannot be unwound, so fail loudly.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt_.real_time_limit_sec));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (active_ > 0) {
+      if (done_cv_.wait_until(lock, deadline) == std::cv_status::timeout && active_ > 0) {
+        lock.unlock();
+        dump_state();
+        FTR_ERROR("ftmpi: watchdog expired after %.0f s with %d processes still active",
+                  opt_.real_time_limit_sec, active_);
+        std::abort();
+      }
+    }
+  }
+  // Join without holding mu_: an exiting thread's wrapper still calls
+  // notify_all_procs() (which needs mu_) after decrementing the active
+  // count, so joining under the lock would deadlock against it.
+  std::vector<std::thread*> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& ps : procs_) {
+      if (ps->thread.joinable()) to_join.push_back(&ps->thread);
+    }
+  }
+  for (std::thread* t : to_join) t->join();
+  return killed_.load() - killed_before;
+}
+
+void Runtime::kill(ProcId pid) {
+  ProcessState* ps = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pid < 0 || static_cast<size_t>(pid) >= procs_.size()) return;
+    ps = procs_[static_cast<size_t>(pid)].get();
+    if (ps->dead.load() || ps->finished.load()) return;
+    ps->dead.store(true);
+    // Free the host slot so repair can re-spawn on the same node, which is
+    // exactly the paper's load-balancing strategy.
+    hosts_[static_cast<size_t>(ps->host)][static_cast<size_t>(ps->slot)] = false;
+  }
+  killed_.fetch_add(1);
+  failure_epoch_.fetch_add(1);
+  trace_.record(ps->vclock, pid, TraceEvent::Kill, ps->world_rank);
+  notify_all_procs();
+  FTR_DEBUG("ftmpi: killed pid %d (world rank %d)", pid, ps->world_rank);
+}
+
+bool Runtime::is_dead(ProcId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pid < 0 || static_cast<size_t>(pid) >= procs_.size()) return true;
+  return procs_[static_cast<size_t>(pid)]->dead.load();
+}
+
+bool Runtime::any_dead(const Group& g) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ProcId p : g.pids) {
+    if (procs_[static_cast<size_t>(p)]->dead.load()) return true;
+  }
+  return false;
+}
+
+std::vector<ProcId> Runtime::dead_members(const Group& g) const {
+  std::vector<ProcId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ProcId p : g.pids) {
+    if (procs_[static_cast<size_t>(p)]->dead.load()) out.push_back(p);
+  }
+  return out;
+}
+
+int Runtime::lowest_live_rank(const Group& g) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int r = 0; r < g.size(); ++r) {
+    if (!procs_[static_cast<size_t>(g.pids[static_cast<size_t>(r)])]->dead.load()) return r;
+  }
+  return -1;
+}
+
+int Runtime::host_of(ProcId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return procs_.at(static_cast<size_t>(pid))->host;
+}
+
+int Runtime::total_processes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(procs_.size());
+}
+
+std::shared_ptr<CommContext> Runtime::create_context(Group local, Group remote, bool inter) {
+  auto ctx = std::make_shared<CommContext>();
+  ctx->is_inter = inter;
+  ctx->group[0] = std::move(local);
+  ctx->group[1] = std::move(remote);
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  ctx->id = next_ctx_++;
+  contexts_[ctx->id] = ctx;
+  return ctx;
+}
+
+std::shared_ptr<CommContext> Runtime::find_context(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  const auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second;
+}
+
+ProcessState& Runtime::proc(ProcId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *procs_.at(static_cast<size_t>(pid));
+}
+
+const ProcessState& Runtime::proc(ProcId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *procs_.at(static_cast<size_t>(pid));
+}
+
+void Runtime::deliver(ProcId dst, Message msg) {
+  ProcessState* ps = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dst < 0 || static_cast<size_t>(dst) >= procs_.size()) return;
+    ps = procs_[static_cast<size_t>(dst)].get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ps->mu);
+    if (ps->dead.load()) return;  // the network cannot deliver to a crashed process
+    ps->mailbox.push_back(std::move(msg));
+  }
+  ps->cv.notify_all();
+}
+
+void Runtime::notify_all_procs() {
+  std::vector<ProcessState*> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(procs_.size());
+    for (auto& ps : procs_) all.push_back(ps.get());
+  }
+  for (auto* ps : all) ps->cv.notify_all();
+}
+
+Runtime::Stats Runtime::stats() const {
+  Stats s;
+  s.messages = msg_count_.load();
+  s.bytes = msg_bytes_.load();
+  s.cross_host = msg_cross_host_.load();
+  return s;
+}
+
+void Runtime::record_message(std::size_t bytes, bool cross_host) {
+  msg_count_.fetch_add(1, std::memory_order_relaxed);
+  msg_bytes_.fetch_add(static_cast<long long>(bytes), std::memory_order_relaxed);
+  if (cross_host) msg_cross_host_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::put(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_[key] = value;
+}
+
+void Runtime::add(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_[key] += value;
+}
+
+double Runtime::get(const std::string& key, double fallback) const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  const auto it = results_.find(key);
+  return it == results_.end() ? fallback : it->second;
+}
+
+std::map<std::string, double> Runtime::results() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return results_;
+}
+
+void Runtime::clear_results() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_.clear();
+}
+
+void Runtime::dump_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ps : procs_) {
+    std::lock_guard<std::mutex> plock(ps->mu);
+    FTR_ERROR("  pid=%d rank=%d host=%d dead=%d finished=%d mailbox=%zu vclock=%.6f",
+              ps->pid, ps->world_rank, ps->host, ps->dead.load() ? 1 : 0,
+              ps->finished.load() ? 1 : 0, ps->mailbox.size(), ps->vclock);
+  }
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,219 @@
+#pragma once
+// The simulated MPI runtime: a "cluster in a process".
+//
+// Each simulated MPI process is a std::thread with its own mailbox and
+// virtual clock.  The Runtime owns the process table, the hosts-and-slots
+// placement model (the paper's hostfile with SLOTS=12 per node), the
+// communicator-context registry, the failure epoch used to wake blocked
+// operations when a process is killed, and a results blackboard through
+// which applications report measurements to the bench harnesses.
+//
+// Failure semantics are fail-stop, as in the paper: Runtime::kill() marks a
+// process dead and frees its host slot; the victim's thread unwinds (via
+// ProcessKilled) at its next runtime call, and every operation by a peer
+// that depends on the victim eventually returns kErrProcFailed.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftmpi/comm.hpp"
+#include "ftmpi/cost_model.hpp"
+#include "ftmpi/trace.hpp"
+#include "ftmpi/types.hpp"
+
+namespace ftmpi {
+
+/// An in-flight message.  Control-plane messages (internal protocols) are
+/// matched by exact (context, tag, source pid); user point-to-point
+/// messages by (context, tag-or-any, source-rank-or-any, side).
+struct Message {
+  std::uint64_t ctx = 0;
+  int tag = 0;
+  ProcId src_pid = kNullProc;
+  int src_rank = -1;
+  int src_side = 0;
+  bool ctrl = false;
+  std::vector<std::byte> payload;
+  double arrive = 0.0;  ///< virtual arrival time at the destination
+};
+
+class Runtime;
+
+/// Per-process runtime state.  The owning thread is the only writer of
+/// vclock; the mailbox and flags are guarded by mu.
+struct ProcessState {
+  Runtime* rt = nullptr;
+  ProcId pid = kNullProc;
+  int host = 0;
+  int slot = 0;
+  std::string app;
+  std::vector<std::string> argv;
+  std::thread thread;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> mailbox;
+  std::atomic<bool> dead{false};
+  std::atomic<bool> finished{false};
+
+  double vclock = 0.0;
+
+  std::uint64_t world_ctx = 0;   ///< context id of this process's COMM_WORLD
+  std::uint64_t parent_ctx = 0;  ///< intercommunicator to the spawner (0 = none)
+  int world_rank = -1;
+
+  // Cached handles so that error handlers / acked state set on the world
+  // or parent communicator persist across world()/get_parent() calls.
+  std::optional<Comm> world_handle;
+  std::optional<Comm> parent_handle;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int slots_per_host = 12;       ///< the paper's SLOTS constant
+    CostModel cost{};
+    /// Real-time watchdog for Runtime::run(); a stuck protocol aborts with
+    /// a state dump rather than hanging a test run forever.
+    double real_time_limit_sec = 300.0;
+  };
+
+  /// Entry point of a simulated MPI application; runs on each rank thread.
+  using EntryFn = std::function<void(const std::vector<std::string>& argv)>;
+
+  Runtime() : Runtime(Options{}) {}
+  explicit Runtime(Options opt);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  /// Register an application binary name -> entry function.  Spawn requests
+  /// (MPI_Comm_spawn_multiple) look commands up here, mirroring re-executing
+  /// the same executable on a real cluster.
+  void register_app(const std::string& name, EntryFn entry);
+
+  /// Launch `world_size` processes running `app` and block until every
+  /// process (including ones spawned during the run) has terminated.
+  /// Returns the number of processes that were killed.
+  int run(const std::string& app, int world_size, std::vector<std::string> argv = {});
+
+  /// Fail-stop kill.  Safe to call from any thread, including the victim.
+  void kill(ProcId pid);
+
+  /// Whole-node failure (the paper's future-work scenario): every live
+  /// process on `host` is killed and the host is marked failed — its slots
+  /// can never be reused.  Later placement requests that prefer the failed
+  /// host are redirected to one consistent *spare* host, so all of the
+  /// node's replacement processes come up co-located, preserving the
+  /// original load-balancing characteristics.
+  void fail_host(int host);
+  [[nodiscard]] bool host_failed(int host) const;
+  /// Pids currently placed on `host` (live or dead).
+  [[nodiscard]] std::vector<ProcId> procs_on_host(int host) const;
+
+  [[nodiscard]] bool is_dead(ProcId pid) const;
+  [[nodiscard]] bool any_dead(const Group& g) const;
+  [[nodiscard]] std::vector<ProcId> dead_members(const Group& g) const;
+  /// Index of the lowest-ranked live member of g, or -1 if none.
+  [[nodiscard]] int lowest_live_rank(const Group& g) const;
+
+  [[nodiscard]] int host_of(ProcId pid) const;
+  [[nodiscard]] int slots_per_host() const { return opt_.slots_per_host; }
+  [[nodiscard]] const CostModel& cost() const { return opt_.cost; }
+  [[nodiscard]] std::uint64_t failure_epoch() const { return failure_epoch_.load(); }
+  [[nodiscard]] int total_processes() const;
+  [[nodiscard]] int killed_count() const { return killed_.load(); }
+
+  /// Aggregate traffic statistics (all processes, whole runtime lifetime).
+  struct Stats {
+    long long messages = 0;   ///< messages delivered to mailboxes
+    long long bytes = 0;      ///< payload bytes carried
+    long long cross_host = 0; ///< messages that crossed a host boundary
+  };
+  [[nodiscard]] Stats stats() const;
+  void record_message(std::size_t bytes, bool cross_host);
+
+  /// Event trace (off by default; FTR_TRACE=1 enables it at construction).
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  // --- communicator contexts ----------------------------------------------
+  std::shared_ptr<CommContext> create_context(Group local, Group remote = {},
+                                              bool inter = false);
+  [[nodiscard]] std::shared_ptr<CommContext> find_context(std::uint64_t id) const;
+
+  // --- process management (used by the spawn protocol) ---------------------
+  /// Create a not-yet-started process placed on `preferred_host` (or the
+  /// first host with a free slot).  Returns its pid.
+  ProcId create_process(const std::string& app, std::vector<std::string> argv,
+                        int preferred_host, double start_clock);
+  /// Start the thread of a process created by create_process() after its
+  /// world/parent contexts have been filled in.
+  void start_process(ProcId pid);
+
+  [[nodiscard]] ProcessState& proc(ProcId pid);
+  [[nodiscard]] const ProcessState& proc(ProcId pid) const;
+
+  /// Enqueue a message; drops silently if the destination is dead
+  /// (matching a network that cannot deliver to a crashed process).
+  void deliver(ProcId dst, Message msg);
+  /// Wake every blocked process so waiting predicates re-evaluate
+  /// (used by kill and revoke).
+  void notify_all_procs();
+
+  // --- results blackboard ---------------------------------------------------
+  // Applications (usually rank 0) publish measurements; bench harnesses read
+  // them after run() returns.
+  void put(const std::string& key, double value);
+  void add(const std::string& key, double value);
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] std::map<std::string, double> results() const;
+  void clear_results();
+
+  // --- thread-local identity -----------------------------------------------
+  /// The calling thread's simulated process (nullptr on non-rank threads).
+  static ProcessState* current();
+
+ private:
+  void thread_main(ProcessState* ps);
+  /// Find/extend a host with a free slot; returns {host, slot}.  mu_ held.
+  std::pair<int, int> allocate_slot_locked(int preferred_host);
+  void dump_state() const;
+
+  Options opt_;
+  mutable std::mutex mu_;  // guards procs_, hosts_, apps_, active_
+  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<ProcessState>> procs_;
+  std::vector<std::vector<bool>> hosts_;  // hosts_[h][s] = slot occupied
+  std::vector<bool> host_failed_;         // failed nodes: slots unusable
+  std::map<int, int> host_substitute_;    // failed host -> its spare replacement
+  std::map<std::string, EntryFn> apps_;
+  int active_ = 0;
+
+  std::atomic<std::uint64_t> failure_epoch_{0};
+  std::atomic<int> killed_{0};
+  std::atomic<long long> msg_count_{0};
+  std::atomic<long long> msg_bytes_{0};
+  std::atomic<long long> msg_cross_host_{0};
+
+  mutable std::mutex ctx_mu_;
+  std::map<std::uint64_t, std::shared_ptr<CommContext>> contexts_;
+  std::uint64_t next_ctx_ = 1;
+
+  mutable std::mutex results_mu_;
+  std::map<std::string, double> results_;
+
+  Trace trace_;
+};
+
+}  // namespace ftmpi

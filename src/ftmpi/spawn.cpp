@@ -1,0 +1,163 @@
+// Dynamic process management: MPI_Comm_spawn_multiple and
+// MPI_Intercomm_merge — the primitives the paper's repairComm (Fig. 5) uses
+// to re-create failed processes on their original hosts and attach them to
+// the survivors.
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "ftmpi/api.hpp"
+#include "ftmpi/detail.hpp"
+
+namespace ftmpi {
+
+namespace {
+
+struct SpawnReply {
+  int outcome;
+  std::uint64_t inter_ctx;
+};
+
+}  // namespace
+
+int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Comm& c,
+                        Comm* intercomm, std::vector<int>* errcodes) {
+  detail::check_alive();
+  *intercomm = Comm{};
+  if (c.is_null() || c.is_inter()) return kErrComm;
+  if (root < 0 || root >= c.size()) return finish(c, kErrArg);
+
+  Runtime& r = detail::rt();
+  const std::uint64_t id = c.context()->id;
+  const Group& g = c.group();
+  ProcessState& me = detail::self();
+
+  if (c.rank() == root) {
+    int total = 0;
+    for (const auto& u : units) total += std::max(u.maxprocs, 0);
+
+    // RTE launch cost: base setup plus per-process fork/exec and wire-up.
+    const CostModel& cm = r.cost();
+    detail::charge(cm.spawn_base + cm.spawn_per_proc * total);
+    // Connection wire-up between every existing member and each new
+    // process — the size-dependent term that dominates Table I's spawn
+    // column at scale.
+    detail::charge(cm.spawn_setup_per_proc * static_cast<double>(std::max(total, 1)) *
+                   static_cast<double>(g.size()));
+    // Plus launcher handshake rounds over the parent communicator.
+    detail::charge_coordinator_rounds(cm.spawn_handshake_rounds * std::max(total, 1),
+                                      g.size());
+
+    // Create the children (threads not yet started).
+    Group children;
+    for (const auto& u : units) {
+      for (int i = 0; i < u.maxprocs; ++i) {
+        const ProcId pid = r.create_process(u.command, u.argv, u.host, 0.0);
+        children.pids.push_back(pid);
+      }
+    }
+    const auto child_world = r.create_context(children);
+    const auto inter = r.create_context(g, children, /*inter=*/true);
+    for (int k = 0; k < children.size(); ++k) {
+      ProcessState& ch = r.proc(children.pids[static_cast<size_t>(k)]);
+      ch.world_ctx = child_world->id;
+      ch.world_rank = k;
+      ch.parent_ctx = inter->id;
+      ch.vclock = me.vclock;  // children come up once the launcher is done
+    }
+    for (ProcId pid : children.pids) r.start_process(pid);
+    r.trace().record(me.vclock, me.pid, TraceEvent::Spawn, children.size());
+
+    SpawnReply reply{kSuccess, inter->id};
+    int outcome = kSuccess;
+    for (int rr = 0; rr < g.size(); ++rr) {
+      if (rr == root) continue;
+      if (detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
+                            sizeof(reply)) != kSuccess) {
+        outcome = kErrProcFailed;
+      }
+    }
+    if (errcodes != nullptr) errcodes->assign(units.size(), kSuccess);
+    *intercomm = Comm(inter, 0, me.pid);
+    return finish(c, outcome);
+  }
+
+  std::vector<std::byte> payload;
+  detail::RecvOpts opts;
+  opts.revoke_ctx = c.context();
+  const int rc = detail::ctrl_recv(g.pids[static_cast<size_t>(root)], id, tags::kSpawnInfo,
+                                   &payload, opts);
+  if (rc != kSuccess) return finish(c, rc == kErrRevoked ? rc : kErrProcFailed);
+  const auto reply = detail::unpack<SpawnReply>(payload);
+  if (errcodes != nullptr) errcodes->assign(units.size(), kSuccess);
+  *intercomm = Comm(r.find_context(reply.inter_ctx), 0, me.pid);
+  return finish(c, reply.outcome);
+}
+
+int intercomm_merge(const Comm& inter, bool high, Comm* out) {
+  detail::check_alive();
+  *out = Comm{};
+  if (inter.is_null() || !inter.is_inter()) return kErrComm;
+
+  Runtime& r = detail::rt();
+  const std::uint64_t id = inter.context()->id;
+  const Group& local = inter.group();
+  const Group& remote = inter.remote_group();
+  ProcessState& me = detail::self();
+  const ProcId local_leader = local.pids[0];
+  const ProcId remote_leader = remote.pids[0];
+
+  std::uint64_t merged_id = 0;
+  if (inter.rank() == 0) {
+    // Leaders exchange their `high` flags to decide the order of the merged
+    // groups; ties (both sides passing the same flag) are broken by pid.
+    const int my_flag = high ? 1 : 0;
+    if (detail::ctrl_send(remote_leader, id, tags::kMergeCross, &my_flag, sizeof(my_flag)) !=
+        kSuccess) {
+      return finish(inter, kErrProcFailed);
+    }
+    std::vector<std::byte> payload;
+    if (detail::ctrl_recv(remote_leader, id, tags::kMergeCross, &payload) != kSuccess) {
+      return finish(inter, kErrProcFailed);
+    }
+    const int remote_flag = detail::unpack<int>(payload);
+    bool i_am_low;
+    if (my_flag != remote_flag) {
+      i_am_low = my_flag == 0;
+    } else {
+      i_am_low = me.pid < remote_leader;
+    }
+
+    if (i_am_low) {
+      Group merged = local;
+      merged.pids.insert(merged.pids.end(), remote.pids.begin(), remote.pids.end());
+      const auto ctx = r.create_context(std::move(merged));
+      merged_id = ctx->id;
+      r.trace().record(me.vclock, me.pid, TraceEvent::Merge, ctx->group[0].size());
+      for (ProcId p : ctx->group[0].pids) {
+        if (p == me.pid) continue;
+        detail::ctrl_send(p, id, tags::kMergeInfo, &merged_id, sizeof(merged_id));
+      }
+    } else {
+      std::vector<std::byte> info;
+      if (detail::ctrl_recv(remote_leader, id, tags::kMergeInfo, &info) != kSuccess) {
+        return finish(inter, kErrProcFailed);
+      }
+      merged_id = detail::unpack<std::uint64_t>(info);
+    }
+  } else {
+    // Non-leaders: the merged-context announcement comes from whichever
+    // side's leader ended up low.
+    std::vector<std::byte> info;
+    if (detail::ctrl_recv_any({local_leader, remote_leader}, id, tags::kMergeInfo, &info,
+                              nullptr) != kSuccess) {
+      return finish(inter, kErrProcFailed);
+    }
+    merged_id = detail::unpack<std::uint64_t>(info);
+  }
+
+  *out = Comm(r.find_context(merged_id), 0, me.pid);
+  return kSuccess;
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,32 @@
+#include "ftmpi/trace.hpp"
+
+#include <cstdio>
+
+namespace ftmpi {
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::Kill: return "kill";
+    case TraceEvent::HostFail: return "host_fail";
+    case TraceEvent::Spawn: return "spawn";
+    case TraceEvent::Revoke: return "revoke";
+    case TraceEvent::Shrink: return "shrink";
+    case TraceEvent::Agree: return "agree";
+    case TraceEvent::Merge: return "merge";
+    case TraceEvent::Split: return "split";
+  }
+  return "?";
+}
+
+std::string Trace::format() const {
+  std::string out;
+  for (const auto& r : events()) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%12.6f pid=%-4d %-9s value=%lld\n", r.vtime, r.pid,
+                  trace_event_name(r.event), r.value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ftmpi

@@ -1,0 +1,64 @@
+#include "grid/grid2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftr::grid {
+
+double Grid2D::sample(double x, double y) const {
+  // Clamp into the unit square; callers sampling periodic data wrap first.
+  x = std::clamp(x, 0.0, 1.0);
+  y = std::clamp(y, 0.0, 1.0);
+  const double fx = x / hx();
+  const double fy = y / hy();
+  int ix = static_cast<int>(fx);
+  int iy = static_cast<int>(fy);
+  ix = std::min(ix, nx_ - 2);
+  iy = std::min(iy, ny_ - 2);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const double v00 = at(ix, iy);
+  const double v10 = at(ix + 1, iy);
+  const double v01 = at(ix, iy + 1);
+  const double v11 = at(ix + 1, iy + 1);
+  return (1 - tx) * (1 - ty) * v00 + tx * (1 - ty) * v10 + (1 - tx) * ty * v01 +
+         tx * ty * v11;
+}
+
+void Grid2D::enforce_periodicity() {
+  for (int iy = 0; iy < ny_; ++iy) at(nx_ - 1, iy) = at(0, iy);
+  for (int ix = 0; ix < nx_; ++ix) at(ix, ny_ - 1) = at(ix, 0);
+}
+
+double l1_error(const Grid2D& g, const std::function<double(double, double)>& ref) {
+  double sum = 0.0;
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      sum += std::abs(g.at(ix, iy) - ref(g.x_of(ix), g.y_of(iy)));
+    }
+  }
+  return sum / static_cast<double>(g.size());
+}
+
+double linf_error(const Grid2D& g, const std::function<double(double, double)>& ref) {
+  double m = 0.0;
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      m = std::max(m, std::abs(g.at(ix, iy) - ref(g.x_of(ix), g.y_of(iy))));
+    }
+  }
+  return m;
+}
+
+double l2_error(const Grid2D& g, const std::function<double(double, double)>& ref) {
+  double sum = 0.0;
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      const double d = g.at(ix, iy) - ref(g.x_of(ix), g.y_of(iy));
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum / static_cast<double>(g.size()));
+}
+
+}  // namespace ftr::grid

@@ -1,0 +1,93 @@
+#pragma once
+// Anisotropic 2D grids for the sparse grid combination technique.
+//
+// A grid of level (lx, ly) discretizes the unit square with
+// (2^lx + 1) x (2^ly + 1) points; the paper's sub-grid u_{i,j} is exactly
+// Grid2D(Level{i, j}).  Point (ix, iy) sits at (ix * hx, iy * hy).  The
+// domain is periodic: column nx-1 mirrors column 0 and row ny-1 mirrors
+// row 0 (kept consistent by the solver).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ftr::grid {
+
+/// A multi-index (i, j): the paper's sub-grid identifier.  Ordered
+/// componentwise for downset computations.
+struct Level {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Level&, const Level&) = default;
+  /// Componentwise partial order: a <= b iff a.x <= b.x and a.y <= b.y.
+  [[nodiscard]] bool leq(const Level& other) const { return x <= other.x && y <= other.y; }
+  [[nodiscard]] int sum() const { return x + y; }
+};
+
+class Grid2D {
+ public:
+  Grid2D() = default;
+  explicit Grid2D(Level level)
+      : level_(level), nx_((1 << level.x) + 1), ny_((1 << level.y) + 1),
+        data_(static_cast<size_t>(nx_) * static_cast<size_t>(ny_), 0.0) {}
+
+  [[nodiscard]] Level level() const { return level_; }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(double); }
+  [[nodiscard]] double hx() const { return 1.0 / static_cast<double>(nx_ - 1); }
+  [[nodiscard]] double hy() const { return 1.0 / static_cast<double>(ny_ - 1); }
+  [[nodiscard]] double x_of(int ix) const { return static_cast<double>(ix) * hx(); }
+  [[nodiscard]] double y_of(int iy) const { return static_cast<double>(iy) * hy(); }
+
+  [[nodiscard]] double& at(int ix, int iy) {
+    assert(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_);
+    return data_[static_cast<size_t>(iy) * static_cast<size_t>(nx_) + static_cast<size_t>(ix)];
+  }
+  [[nodiscard]] double at(int ix, int iy) const {
+    assert(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_);
+    return data_[static_cast<size_t>(iy) * static_cast<size_t>(nx_) + static_cast<size_t>(ix)];
+  }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// Set every point from f(x, y).
+  void fill(const std::function<double(double, double)>& f) {
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        at(ix, iy) = f(x_of(ix), y_of(iy));
+      }
+    }
+  }
+
+  void zero() { data_.assign(data_.size(), 0.0); }
+
+  /// Bilinear interpolation of the grid function at (x, y) in [0,1]^2.
+  [[nodiscard]] double sample(double x, double y) const;
+
+  /// Copy the periodic images: column nx-1 <- column 0, row ny-1 <- row 0.
+  void enforce_periodicity();
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.level_ == b.level_ && a.data_ == b.data_;
+  }
+
+ private:
+  Level level_{};
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<double> data_;
+};
+
+/// Error norms between a grid and a reference function evaluated at its
+/// points.  The paper reports the average l1 norm (Fig. 10).
+double l1_error(const Grid2D& g, const std::function<double(double, double)>& ref);
+double linf_error(const Grid2D& g, const std::function<double(double, double)>& ref);
+double l2_error(const Grid2D& g, const std::function<double(double, double)>& ref);
+
+}  // namespace ftr::grid

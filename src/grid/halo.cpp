@@ -1,0 +1,91 @@
+#include "grid/halo.hpp"
+
+#include "ftmpi/request.hpp"
+
+namespace ftr::grid {
+
+namespace {
+// Distinct user tags per direction keep concurrent exchanges unambiguous.
+constexpr int kTagWest = 101;   // data travelling westwards (to the west neighbor)
+constexpr int kTagEast = 102;   // data travelling eastwards
+constexpr int kTagSouth = 103;
+constexpr int kTagNorth = 104;
+}  // namespace
+
+int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
+  const int rank = comm.rank();
+  const Block& b = f.block();
+  if (d.px() == 1) {
+    // Periodic wrap within the single owner of every column.
+    f.unpack_halo_column(-1, f.pack_column(b.width() - 1));
+    f.unpack_halo_column(b.width(), f.pack_column(0));
+    return ftmpi::kSuccess;
+  }
+  const int west = d.west(rank);
+  const int east = d.east(rank);
+
+  // MPI-idiomatic pattern: post both receives, send both edges, wait.
+  std::vector<double> from_east(static_cast<size_t>(b.height()));
+  std::vector<double> from_west(static_cast<size_t>(b.height()));
+  ftmpi::Request reqs[2];
+  int rc = ftmpi::irecv(from_east.data(), static_cast<int>(from_east.size()), east,
+                        kTagWest, comm, &reqs[0]);
+  if (rc != ftmpi::kSuccess) return rc;
+  rc = ftmpi::irecv(from_west.data(), static_cast<int>(from_west.size()), west, kTagEast,
+                    comm, &reqs[1]);
+  if (rc != ftmpi::kSuccess) return rc;
+
+  const auto west_edge = f.pack_column(0);
+  const auto east_edge = f.pack_column(b.width() - 1);
+  rc = ftmpi::send(west_edge.data(), static_cast<int>(west_edge.size()), west, kTagWest,
+                   comm);
+  if (rc != ftmpi::kSuccess) return rc;
+  rc = ftmpi::send(east_edge.data(), static_cast<int>(east_edge.size()), east, kTagEast,
+                   comm);
+  if (rc != ftmpi::kSuccess) return rc;
+
+  rc = ftmpi::waitall(reqs, 2);
+  if (rc != ftmpi::kSuccess) return rc;
+  f.unpack_halo_column(b.width(), from_east);
+  f.unpack_halo_column(-1, from_west);
+  return ftmpi::kSuccess;
+}
+
+int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
+  const int rank = comm.rank();
+  const Block& b = f.block();
+  if (d.py() == 1) {
+    f.unpack_halo_row(-1, f.pack_row(b.height() - 1));
+    f.unpack_halo_row(b.height(), f.pack_row(0));
+    return ftmpi::kSuccess;
+  }
+  const int south = d.south(rank);
+  const int north = d.north(rank);
+
+  std::vector<double> from_north(static_cast<size_t>(b.width()));
+  std::vector<double> from_south(static_cast<size_t>(b.width()));
+  ftmpi::Request reqs[2];
+  int rc = ftmpi::irecv(from_north.data(), static_cast<int>(from_north.size()), north,
+                        kTagSouth, comm, &reqs[0]);
+  if (rc != ftmpi::kSuccess) return rc;
+  rc = ftmpi::irecv(from_south.data(), static_cast<int>(from_south.size()), south,
+                    kTagNorth, comm, &reqs[1]);
+  if (rc != ftmpi::kSuccess) return rc;
+
+  const auto south_edge = f.pack_row(0);
+  const auto north_edge = f.pack_row(b.height() - 1);
+  rc = ftmpi::send(south_edge.data(), static_cast<int>(south_edge.size()), south, kTagSouth,
+                   comm);
+  if (rc != ftmpi::kSuccess) return rc;
+  rc = ftmpi::send(north_edge.data(), static_cast<int>(north_edge.size()), north, kTagNorth,
+                   comm);
+  if (rc != ftmpi::kSuccess) return rc;
+
+  rc = ftmpi::waitall(reqs, 2);
+  if (rc != ftmpi::kSuccess) return rc;
+  f.unpack_halo_row(b.height(), from_north);
+  f.unpack_halo_row(-1, from_south);
+  return ftmpi::kSuccess;
+}
+
+}  // namespace ftr::grid

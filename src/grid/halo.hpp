@@ -1,0 +1,25 @@
+#pragma once
+// Halo exchange between the blocks of one sub-grid's process group.
+//
+// The Lax-Wendroff sweeps need one ghost point in the sweep direction;
+// exchange_x fills the west/east halo columns and exchange_y the
+// south/north halo rows, with periodic wrap.  Self-neighboring directions
+// (a single process column/row) wrap locally without messages.
+//
+// All sends are eager (the ftmpi runtime buffers them), so the symmetric
+// send-then-receive pattern cannot deadlock.
+
+#include "ftmpi/api.hpp"
+#include "grid/decomposition.hpp"
+
+namespace ftr::grid {
+
+/// Fill the west (-1) and east (width) halo columns.  Returns the first
+/// ftmpi error code encountered (failures surface here during a real
+/// process-failure run).
+int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
+
+/// Fill the south (-1) and north (height) halo rows.
+int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
+
+}  // namespace ftr::grid

@@ -1,0 +1,35 @@
+#pragma once
+// Inter-grid transfer operators.
+//
+// The recovery techniques move data between sub-grids of different levels:
+//   - Resampling & Copying restricts a finer diagonal grid onto the coarser
+//     lower-diagonal grid below it (the coarse points are a subset of the
+//     fine points, so restriction is injection);
+//   - the Alternate Combination samples the combined solution at a lost
+//     grid's points (general bilinear interpolation).
+
+#include "grid/grid2d.hpp"
+
+namespace ftr::grid {
+
+/// True when every point of `coarse` coincides with a point of `fine`
+/// (componentwise coarse.level <= fine.level).
+[[nodiscard]] bool is_refinement(Level coarse, Level fine);
+
+/// Injection restriction: copy the fine values at the coarse points.
+/// Requires is_refinement(coarse.level(), fine.level()).
+void restrict_inject(const Grid2D& fine, Grid2D& coarse);
+
+/// General transfer by bilinear interpolation: set every point of `dst`
+/// from the interpolant of `src`.  Exact when src refines dst.
+void interpolate(const Grid2D& src, Grid2D& dst);
+
+/// Prolongate `coarse` onto the points of `fine` by bilinear interpolation
+/// (alias of interpolate with the roles made explicit).
+inline void prolongate(const Grid2D& coarse, Grid2D& fine) { interpolate(coarse, fine); }
+
+/// Add c * interpolant-of-src to every point of dst (used by the parallel
+/// combination: dst accumulates sum_k c_k I(u_k)).
+void accumulate_interpolated(const Grid2D& src, double coefficient, Grid2D& dst);
+
+}  // namespace ftr::grid

@@ -1,0 +1,64 @@
+#include "recovery/replication.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/sampling.hpp"
+
+namespace ftr::rec {
+
+using ftr::comb::GridRole;
+
+std::optional<int> rc_partner(const std::vector<GridSlot>& slots, int id) {
+  const auto& slot = slots.at(static_cast<size_t>(id));
+  switch (slot.role) {
+    case GridRole::Duplicate:
+      return slot.duplicate_of;
+    case GridRole::Diagonal: {
+      for (const auto& s : slots) {
+        if (s.role == GridRole::Duplicate && s.duplicate_of == id) return s.id;
+      }
+      return std::nullopt;
+    }
+    case GridRole::LowerDiagonal: {
+      // The diagonal grid one x-level finer: (i, j) <- (i+1, j).
+      const Level want{slot.level.x + 1, slot.level.y};
+      for (const auto& s : slots) {
+        if (s.role == GridRole::Diagonal && s.level == want) return s.id;
+      }
+      return std::nullopt;
+    }
+    case GridRole::ExtraLayer:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool rc_loss_allowed(const std::vector<GridSlot>& slots, const std::vector<int>& lost_ids) {
+  const auto is_lost = [&](int id) {
+    return std::find(lost_ids.begin(), lost_ids.end(), id) != lost_ids.end();
+  };
+  for (int id : lost_ids) {
+    const auto partner = rc_partner(slots, id);
+    if (!partner.has_value()) return false;  // unrecoverable slot
+    if (is_lost(*partner)) return false;     // partner lost simultaneously
+  }
+  return true;
+}
+
+Grid2D recover_by_copy(const Grid2D& source) { return source; }
+
+Grid2D recover_by_resample(const Grid2D& finer, Level target) {
+  Grid2D out(target);
+  assert(ftr::grid::is_refinement(target, finer.level()));
+  ftr::grid::restrict_inject(finer, out);
+  return out;
+}
+
+Grid2D rc_recover(const std::vector<GridSlot>& slots, int lost_id, const Grid2D& partner) {
+  const auto& slot = slots.at(static_cast<size_t>(lost_id));
+  if (slot.role == GridRole::LowerDiagonal) return recover_by_resample(partner, slot.level);
+  return recover_by_copy(partner);
+}
+
+}  // namespace ftr::rec

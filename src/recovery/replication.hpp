@@ -1,0 +1,46 @@
+#pragma once
+// Resampling & Copying (RC) recovery [paper Sec. II-D].
+//
+// The diagonal sub-grids are computed twice (grids 7-10 duplicate 0-3 in
+// Fig. 1).  A lost diagonal grid is recovered *exactly* by copying its
+// duplicate (and vice versa).  A lost lower-diagonal grid is recovered
+// *approximately* by resampling (injecting) the finer diagonal grid above
+// it: lower-diagonal (i, j) is a point-subset of diagonal (i+1, j).
+//
+// The technique has the paper's constraint: a grid and its recovery partner
+// must not be lost at the same time.
+
+#include <optional>
+#include <vector>
+
+#include "combination/index_set.hpp"
+#include "grid/grid2d.hpp"
+
+namespace ftr::rec {
+
+using ftr::comb::GridSlot;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+
+/// For grid `id` in `slots`, the id of the grid RC recovers it from:
+///   - a diagonal grid  -> its duplicate (and a duplicate -> its primary);
+///   - a lower-diagonal -> the diagonal grid one x-level finer
+///     (paper: 4 from 1, 5 from 2, 6 from 3).
+/// Returns nullopt when the slot has no partner (e.g. extra layers).
+std::optional<int> rc_partner(const std::vector<GridSlot>& slots, int id);
+
+/// The paper's constraint check: true when no lost grid's recovery partner
+/// is also lost (process 0's grid is checked by the caller).
+bool rc_loss_allowed(const std::vector<GridSlot>& slots, const std::vector<int>& lost_ids);
+
+/// Exact recovery by copy.  `source` must have the same level as the target.
+Grid2D recover_by_copy(const Grid2D& source);
+
+/// Approximate recovery by resampling the finer partner down to `target`.
+Grid2D recover_by_resample(const Grid2D& finer, Level target);
+
+/// Dispatch on the slot role: copy for diagonal/duplicate pairs, resample
+/// for lower-diagonal grids.  `partner` is the partner grid's data.
+Grid2D rc_recover(const std::vector<GridSlot>& slots, int lost_id, const Grid2D& partner);
+
+}  // namespace ftr::rec

@@ -1,0 +1,167 @@
+// Tests for the advection solver: exactness properties of the Lax-Wendroff
+// update, serial convergence, and parallel-vs-serial agreement.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "advection/parallel_solver.hpp"
+#include "advection/serial_solver.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr::advection;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+
+TEST(LaxWendroff, UpdatePreservesConstants) {
+  EXPECT_DOUBLE_EQ(lw_update(3.0, 3.0, 3.0, 0.7), 3.0);
+}
+
+TEST(LaxWendroff, UnitCourantShifts) {
+  // With c = 1 the scheme is exact: u_i^{n+1} = u_{i-1}^n.
+  EXPECT_DOUBLE_EQ(lw_update(1.0, 2.0, 5.0, 1.0), 1.0);
+  // With c = -1 it shifts the other way.
+  EXPECT_DOUBLE_EQ(lw_update(1.0, 2.0, 5.0, -1.0), 5.0);
+}
+
+TEST(Problem, ExactSolutionTranslates) {
+  const Problem p{1.0, 0.5};
+  EXPECT_NEAR(p.exact(0.5, 0.5, 0.0), p.initial(0.5, 0.5), 1e-14);
+  EXPECT_NEAR(p.exact(0.75, 0.625, 0.25), p.initial(0.5, 0.5), 1e-14);
+  // Periodic wrap.
+  EXPECT_NEAR(p.exact(0.1, 0.1, 1.0), p.initial(0.1, 0.6), 1e-12);
+}
+
+TEST(Problem, StableTimestepRespectsCfl) {
+  const Problem p{2.0, 0.5};
+  const double dt = stable_timestep(6, p, 0.9);
+  EXPECT_LE(dt * 2.0 * 64, 0.9 + 1e-12);
+}
+
+TEST(SerialSolver, ErrorSmallAfterManySteps) {
+  const Problem p{1.0, 0.5};
+  const double dt = stable_timestep(6, p, 0.8);
+  SerialSolver s(Level{6, 6}, p, dt);
+  s.run(50);
+  EXPECT_LT(s.l1_error(), 5e-3);
+}
+
+TEST(SerialSolver, SecondOrderConvergence) {
+  const Problem p{1.0, 1.0};
+  // Solve to the same physical time on successively finer grids with the
+  // same (finest-stable) timestep; the spatial error should drop ~4x per
+  // refinement once the spatial term dominates.
+  const double dt = stable_timestep(7, p, 0.5);
+  const long steps = 64;
+  double prev = 0;
+  std::vector<double> errs;
+  for (int l : {4, 5, 6}) {
+    SerialSolver s(Level{l, l}, p, dt);
+    s.run(steps);
+    errs.push_back(s.l1_error());
+    (void)prev;
+  }
+  EXPECT_GT(errs[0] / errs[1], 2.5);
+  EXPECT_GT(errs[1] / errs[2], 2.5);
+}
+
+TEST(SerialSolver, ResumeConstructorContinues) {
+  const Problem p{1.0, 0.5};
+  const double dt = stable_timestep(5, p, 0.8);
+  SerialSolver full(Level{5, 5}, p, dt);
+  full.run(40);
+
+  SerialSolver first(Level{5, 5}, p, dt);
+  first.run(25);
+  SerialSolver resumed(first.grid(), p, dt, first.steps_done());
+  resumed.run(15);
+  EXPECT_EQ(resumed.steps_done(), 40);
+  for (int iy = 0; iy < full.grid().ny(); ++iy) {
+    for (int ix = 0; ix < full.grid().nx(); ++ix) {
+      ASSERT_NEAR(resumed.grid().at(ix, iy), full.grid().at(ix, iy), 1e-14);
+    }
+  }
+}
+
+TEST(ParallelSolver, MatchesSerialBitForBit) {
+  ftmpi::Runtime rt;
+  std::atomic<int> bad{0};
+  const Problem p{1.0, 0.5};
+  const Level level{5, 4};
+  const double dt = stable_timestep(5, p, 0.8);
+  const long steps = 20;
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ParallelSolver solver(level, p, dt, ftmpi::world());
+    if (solver.run(steps) != ftmpi::kSuccess) ++bad;
+    Grid2D full;
+    if (solver.gather_full(&full) != ftmpi::kSuccess) ++bad;
+    if (ftmpi::world().rank() == 0) {
+      SerialSolver ref(level, p, dt);
+      ref.run(steps);
+      for (int iy = 0; iy < full.ny(); ++iy) {
+        for (int ix = 0; ix < full.nx(); ++ix) {
+          if (std::abs(full.at(ix, iy) - ref.grid().at(ix, iy)) > 1e-13) ++bad;
+        }
+      }
+    }
+  });
+  rt.run("main", 8);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ParallelSolver, ScatterThenGatherRoundTrips) {
+  ftmpi::Runtime rt;
+  std::atomic<int> bad{0};
+  const Problem p{1.0, 0.5};
+  const Level level{4, 4};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ParallelSolver solver(level, p, stable_timestep(4, p), ftmpi::world());
+    Grid2D ref(level);
+    if (ftmpi::world().rank() == 0) {
+      ref.fill([](double x, double y) { return 3 * x - y; });
+    }
+    if (solver.scatter_full(ref) != ftmpi::kSuccess) ++bad;
+    Grid2D back;
+    if (solver.gather_full(&back) != ftmpi::kSuccess) ++bad;
+    if (ftmpi::world().rank() == 0) {
+      ref.enforce_periodicity();
+      if (!(ref == back)) ++bad;
+    }
+  });
+  rt.run("main", 4);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ParallelSolver, StepChargesVirtualComputeTime) {
+  ftmpi::Runtime rt;
+  std::atomic<double> t{0.0};
+  const Problem p{1.0, 0.5};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ParallelSolver solver(Level{5, 5}, p, stable_timestep(5, p), ftmpi::world());
+    solver.run(4);
+    t = ftmpi::wtime();
+  });
+  rt.run("main", 1);
+  // 4 steps x 2 sweeps x 1024 cells at the modeled rate.
+  const double expect = 4.0 * 2.0 * 1024.0 / ftmpi::CostModel{}.cell_update_rate;
+  EXPECT_NEAR(t.load(), expect, expect * 0.01);
+}
+
+TEST(ParallelSolver, SurfacesFailureDuringStep) {
+  ftmpi::Runtime rt;
+  std::atomic<int> fail_codes{0};
+  const Problem p{1.0, 0.5};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ftmpi::Comm& w = ftmpi::world();
+    ParallelSolver solver(Level{5, 5}, p, stable_timestep(5, p), w);
+    if (w.rank() == 2) {
+      solver.run(3);
+      ftmpi::abort_self();
+    }
+    const int rc = solver.run(100);
+    if (rc == ftmpi::kErrProcFailed) ++fail_codes;
+  });
+  rt.run("main", 4);
+  EXPECT_EQ(fail_codes.load(), 3);
+}

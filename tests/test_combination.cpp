@@ -1,0 +1,259 @@
+// Tests for the sparse grid combination machinery: index sets, classic
+// coefficients, the general coefficient problem (GCP), and combined-solution
+// evaluation.  Includes parameterized property sweeps over (n, l) and over
+// loss patterns.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "advection/serial_solver.hpp"
+#include "combination/coefficients.hpp"
+#include "combination/combine.hpp"
+#include "combination/index_set.hpp"
+
+using namespace ftr::comb;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+
+TEST(Scheme, PaperGeometryN13L4) {
+  // Fig. 1: n = 13, l = 4 -> 4 diagonal grids, 3 lower-diagonal grids,
+  // extra layers of 2 and 1.
+  const Scheme s{13, 4};
+  EXPECT_EQ(s.top_sum(), 23);
+  EXPECT_EQ(s.min_level(), 10);
+  EXPECT_EQ(s.layer_size(0), 4);
+  EXPECT_EQ(s.layer_size(1), 3);
+  EXPECT_EQ(s.layer_size(2), 2);
+  EXPECT_EQ(s.layer_size(3), 1);
+  const auto diag = s.layer(0);
+  EXPECT_EQ(diag[0], (Level{10, 13}));
+  EXPECT_EQ(diag[3], (Level{13, 10}));
+  // RC's recovery map requires lower grid k to sit below diagonal k+1:
+  // lower[k] = (i, j)  <=>  diag[k+1] = (i+1, j).
+  const auto lower = s.layer(1);
+  for (size_t k = 0; k < lower.size(); ++k) {
+    EXPECT_EQ(lower[k].x + 1, diag[k + 1].x);
+    EXPECT_EQ(lower[k].y, diag[k + 1].y);
+  }
+}
+
+TEST(Scheme, CombinationLevelsMatchEq1) {
+  const Scheme s{8, 4};
+  const auto levels = s.combination_levels();
+  ASSERT_EQ(levels.size(), 7u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(levels[i].sum(), s.top_sum());
+  for (size_t i = 4; i < 7; ++i) EXPECT_EQ(levels[i].sum(), s.top_sum() - 1);
+}
+
+TEST(GridSlots, CheckpointRestartHasSevenGrids) {
+  const Scheme s{8, 4};
+  const auto slots = build_grid_slots(s, Technique::CheckpointRestart);
+  EXPECT_EQ(slots.size(), 7u);
+}
+
+TEST(GridSlots, ResamplingCopyingDuplicatesDiagonals) {
+  const Scheme s{8, 4};
+  const auto slots = build_grid_slots(s, Technique::ResamplingCopying);
+  ASSERT_EQ(slots.size(), 11u);  // paper's grids 0..10
+  for (int d = 7; d <= 10; ++d) {
+    EXPECT_EQ(slots[static_cast<size_t>(d)].role, GridRole::Duplicate);
+    EXPECT_EQ(slots[static_cast<size_t>(d)].duplicate_of, d - 7);
+    EXPECT_EQ(slots[static_cast<size_t>(d)].level, slots[static_cast<size_t>(d - 7)].level);
+  }
+}
+
+TEST(GridSlots, AlternateCombinationAddsExtraLayers) {
+  const Scheme s{8, 4};
+  const auto slots = build_grid_slots(s, Technique::AlternateCombination, 2);
+  ASSERT_EQ(slots.size(), 10u);  // 4 + 3 + 2 + 1 (paper's grids 0..6, 11..13)
+  EXPECT_EQ(slots[7].role, GridRole::ExtraLayer);
+  EXPECT_EQ(slots[7].depth, 2);
+  EXPECT_EQ(slots[9].depth, 3);
+}
+
+TEST(Coefficients, ClassicValues) {
+  const Scheme s{8, 4};
+  for (const Level& k : s.layer(0)) EXPECT_DOUBLE_EQ(classic_coefficient(s, k), 1.0);
+  for (const Level& k : s.layer(1)) EXPECT_DOUBLE_EQ(classic_coefficient(s, k), -1.0);
+  for (const Level& k : s.layer(2)) EXPECT_DOUBLE_EQ(classic_coefficient(s, k), 0.0);
+}
+
+TEST(Gcp, NoLossReproducesClassicCoefficients) {
+  const Scheme s{9, 5};
+  const CoefficientProblem problem(s, 3);
+  const auto set = problem.solve({});
+  ASSERT_TRUE(set.has_value());
+  for (size_t i = 0; i < set->levels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(set->coeffs[i], classic_coefficient(s, set->levels[i]))
+        << "level (" << set->levels[i].x << "," << set->levels[i].y << ")";
+  }
+  EXPECT_NEAR(set->sum(), 1.0, 1e-12);
+}
+
+TEST(Gcp, SingleDiagonalLossExample) {
+  // Worked example from DESIGN.md: n = 13, l = 4, lose (11, 12).
+  const Scheme s{13, 4};
+  const CoefficientProblem problem(s, 3);
+  const auto set = problem.solve({Level{11, 12}});
+  ASSERT_TRUE(set.has_value());
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{10, 13}), 1.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{12, 11}), 1.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{13, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{11, 12}), 0.0);  // lost
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{10, 12}), 0.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{11, 11}), 0.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{12, 10}), -1.0);
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{10, 11}), -1.0);  // extra layer activated
+  EXPECT_DOUBLE_EQ(set->coefficient_of(Level{11, 10}), 0.0);
+  EXPECT_NEAR(set->sum(), 1.0, 1e-12);
+}
+
+TEST(Gcp, LossOutsideWindowIsInfeasible) {
+  // Losing an extra-layer grid can push coefficients below the window.
+  const Scheme s{8, 4};
+  const CoefficientProblem problem(s, 1);  // no extra layers available
+  const auto set = problem.solve({s.layer(0)[1]});
+  EXPECT_FALSE(set.has_value());
+}
+
+// Property sweep: every single and double loss among the combination grids
+// must be feasible with two extra layers, sum to 1, and zero out the upset
+// of each lost grid.
+class GcpLossSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GcpLossSweep, SingleAndDoubleLossesAreFeasible) {
+  const auto [n, l] = GetParam();
+  const Scheme s{n, l};
+  const CoefficientProblem problem(s, 3);
+  const auto grids = s.combination_levels();
+  for (size_t a = 0; a < grids.size(); ++a) {
+    const auto single = problem.solve({grids[a]});
+    ASSERT_TRUE(single.has_value()) << "single loss " << a;
+    EXPECT_NEAR(single->sum(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(single->coefficient_of(grids[a]), 0.0);
+    for (size_t b = a + 1; b < grids.size(); ++b) {
+      const auto dbl = problem.solve({grids[a], grids[b]});
+      ASSERT_TRUE(dbl.has_value()) << "double loss " << a << "," << b;
+      EXPECT_NEAR(dbl->sum(), 1.0, 1e-12);
+      EXPECT_DOUBLE_EQ(dbl->coefficient_of(grids[a]), 0.0);
+      EXPECT_DOUBLE_EQ(dbl->coefficient_of(grids[b]), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, GcpLossSweep,
+                         ::testing::Values(std::tuple{8, 4}, std::tuple{9, 4},
+                                           std::tuple{10, 5}, std::tuple{13, 4},
+                                           std::tuple{12, 6}));
+
+// Hierarchical-coverage invariant: for every index w in the window, the sum
+// of coefficients over {k >= w} equals 1 if w is in the reduced downset and
+// 0 if w sits in a removed upset.
+TEST(Gcp, CoverageInvariantUnderLosses) {
+  const Scheme s{10, 5};
+  const CoefficientProblem problem(s, 3);
+  const auto grids = s.combination_levels();
+  const std::vector<Level> lost{grids[1], grids[5]};
+  const auto set = problem.solve(lost);
+  ASSERT_TRUE(set.has_value());
+  for (int depth = 0; depth <= 3; ++depth) {
+    for (const Level& w : s.layer(depth)) {
+      double cover = 0;
+      for (size_t i = 0; i < set->levels.size(); ++i) {
+        if (w.leq(set->levels[i])) cover += set->coeffs[i];
+      }
+      const double want = problem.member(w, lost) ? 1.0 : 0.0;
+      EXPECT_NEAR(cover, want, 1e-12) << "w=(" << w.x << "," << w.y << ")";
+    }
+  }
+}
+
+TEST(Combine, ExactForBilinearFunctions) {
+  // Each component interpolates bilinear functions exactly, and the
+  // coefficients sum to 1, so the combination must reproduce them.
+  const Scheme s{5, 3};
+  const auto levels = s.combination_levels();
+  std::vector<Grid2D> grids;
+  grids.reserve(levels.size());
+  for (const Level& lv : levels) {
+    Grid2D g(lv);
+    g.fill([](double x, double y) { return 1.0 + 2.0 * x - y + 3.0 * x * y; });
+    grids.push_back(std::move(g));
+  }
+  std::vector<const Grid2D*> ptrs;
+  for (const auto& g : grids) ptrs.push_back(&g);
+  const auto parts = classic_components(s, ptrs);
+  const Grid2D combined = combine_full(s, parts);
+  const double err = ftr::grid::linf_error(
+      combined, [](double x, double y) { return 1.0 + 2.0 * x - y + 3.0 * x * y; });
+  EXPECT_LT(err, 1e-12);
+}
+
+TEST(Combine, CombinationBeatsCoarsestComponent) {
+  // Solve advection on every combination grid and compare the combined
+  // solution's error to the single coarsest component's error.
+  const Scheme s{6, 3};
+  const ftr::advection::Problem p{1.0, 0.5};
+  const double dt = ftr::advection::stable_timestep(s.n, p, 0.8);
+  const long steps = 32;
+
+  std::vector<Grid2D> grids;
+  std::vector<double> component_errors;
+  for (const Level& lv : s.combination_levels()) {
+    ftr::advection::SerialSolver solver(lv, p, dt);
+    solver.run(steps);
+    component_errors.push_back(solver.l1_error());
+    grids.push_back(solver.grid());
+  }
+  std::vector<const Grid2D*> ptrs;
+  for (const auto& g : grids) ptrs.push_back(&g);
+  const Grid2D combined = combine_full(s, classic_components(s, ptrs));
+
+  const double t = static_cast<double>(steps) * dt;
+  const double err =
+      ftr::grid::l1_error(combined, [&](double x, double y) { return p.exact(x, y, t); });
+  const double worst =
+      *std::max_element(component_errors.begin(), component_errors.end());
+  EXPECT_LT(err, worst);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(Combine, AlternateCombinationErrorIsBounded) {
+  // Lose one diagonal grid; the GCP combination over the survivors (with
+  // extra layers) should stay within a factor of ~10 of the baseline, the
+  // paper's robustness headline.
+  const Scheme s{6, 3};
+  const ftr::advection::Problem p{1.0, 0.5};
+  const double dt = ftr::advection::stable_timestep(s.n, p, 0.8);
+  const long steps = 32;
+  const double t = static_cast<double>(steps) * dt;
+
+  std::map<std::pair<int, int>, Grid2D> solutions;
+  for (int depth = 0; depth <= 3; ++depth) {
+    for (const Level& lv : s.layer(depth)) {
+      ftr::advection::SerialSolver solver(lv, p, dt);
+      solver.run(steps);
+      solutions.emplace(std::pair{lv.x, lv.y}, solver.grid());
+    }
+  }
+  auto combine_for = [&](const std::vector<Level>& lost) {
+    const CoefficientProblem problem(s, 3);
+    const auto set = problem.solve(lost);
+    EXPECT_TRUE(set.has_value());
+    std::vector<Component> parts;
+    for (size_t i = 0; i < set->levels.size(); ++i) {
+      parts.push_back(
+          Component{&solutions.at({set->levels[i].x, set->levels[i].y}), set->coeffs[i]});
+    }
+    const Grid2D combined = combine_full(s, parts);
+    return ftr::grid::l1_error(combined,
+                               [&](double x, double y) { return p.exact(x, y, t); });
+  };
+
+  const double baseline = combine_for({});
+  const double with_loss = combine_for({s.layer(0)[1]});
+  EXPECT_GT(with_loss, 0.0);
+  EXPECT_LT(with_loss, 10.0 * baseline);
+}

@@ -1,0 +1,132 @@
+// Unit tests for the common utilities: CLI parsing, table/CSV output,
+// deterministic RNG, and log-level parsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+using namespace ftr;
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--flag", "pos1", "--gamma=x", "pos2"};
+  const Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get("gamma", ""), "x");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, ParsesIntLists) {
+  const char* argv[] = {"prog", "--cores=19,38,76"};
+  const Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int_list("cores", {}), (std::vector<long>{19, 38, 76}));
+  EXPECT_EQ(cli.get_int_list("other", {1, 2}), (std::vector<long>{1, 2}));
+}
+
+TEST(Cli, BoolForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=false"};
+  const Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Table, PrintsAlignedMarkdown) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "quo\"te"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+  EXPECT_EQ(Table::num(std::nan("")), "-");
+  EXPECT_EQ(Table::num(42L), "42");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Xoshiro256 root(9);
+  Xoshiro256 s1 = root.split(1);
+  Xoshiro256 s2 = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += s1() == s2() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.bounded(13);
+    EXPECT_LT(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::Warn);
+}
+
+TEST(Logging, EnabledRespectsThreshold) {
+  Logger& log = Logger::instance();
+  const LogLevel saved = log.level();
+  log.set_level(LogLevel::Warn);
+  EXPECT_FALSE(log.enabled(LogLevel::Debug));
+  EXPECT_TRUE(log.enabled(LogLevel::Error));
+  log.set_level(saved);
+}

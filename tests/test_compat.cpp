@@ -1,0 +1,184 @@
+// Tests of the MPI_*/OMPI_* compatibility layer — the surface the paper's
+// pseudocode is written against.  These mirror the paper's call sequences
+// (Figs. 3-7) directly in compat style.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ftmpi/mpi_compat.hpp"
+#include "ftmpi/runtime.hpp"
+
+using namespace ftmpi;
+using namespace ftmpi::compat;
+
+TEST(Compat, RankSizeWtime) {
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    int rank = -1, size = -1;
+    if (MPI_Comm_rank(comm, &rank) != MPI_SUCCESS) ++bad;
+    if (MPI_Comm_size(comm, &size) != MPI_SUCCESS) ++bad;
+    if (size != 3 || rank < 0 || rank >= 3) ++bad;
+    if (MPI_Wtime() < 0) ++bad;
+  });
+  rt.run("main", 3);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Compat, SendRecvWithStatus) {
+  Runtime rt;
+  std::atomic<int> got{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    int rank;
+    MPI_Comm_rank(comm, &rank);
+    if (rank == 0) {
+      const int v = 31;
+      ASSERT_EQ(MPI_Send(&v, 1, MPI_INT, 1, 4, comm), MPI_SUCCESS);
+    } else {
+      int v = 0;
+      MPI_Status st;
+      ASSERT_EQ(MPI_Recv(&v, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, comm, &st),
+                MPI_SUCCESS);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 4);
+      got = v;
+    }
+  });
+  rt.run("main", 2);
+  EXPECT_EQ(got.load(), 31);
+}
+
+TEST(Compat, GroupOpsMatchFig6Usage) {
+  // The failedProcsList sequence: group, compare, difference, translate.
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    if (comm.rank() == 2) ftmpi::abort_self();
+    MPI_Barrier(comm);
+    MPI_Comm shrunken;
+    ASSERT_EQ(OMPI_Comm_shrink(comm, &shrunken), MPI_SUCCESS);
+
+    MPI_Group old_group, shrink_group;
+    MPI_Comm_group(comm, &old_group);
+    MPI_Comm_group(shrunken, &shrink_group);
+    int result;
+    MPI_Group_compare(old_group, shrink_group, &result);
+    if (result == MPI_IDENT) ++bad;
+
+    MPI_Group failed;
+    MPI_Group_difference(old_group, shrink_group, &failed);
+    int total = 0;
+    MPI_Group_size(failed, &total);
+    if (total != 1) ++bad;
+    int temp[1] = {0};
+    int out[1] = {-1};
+    MPI_Group_translate_ranks(failed, 1, temp, old_group, out);
+    if (out[0] != 2) ++bad;
+  });
+  rt.run("main", 4);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Compat, GroupCompareSimilar) {
+  Group a{{3, 5, 9}};
+  Group b{{9, 3, 5}};
+  int r = -1;
+  MPI_Group_compare(a, b, &r);
+  EXPECT_EQ(r, MPI_SIMILAR);
+  MPI_Group_compare(a, a, &r);
+  EXPECT_EQ(r, MPI_IDENT);
+  Group c{{3, 5}};
+  MPI_Group_compare(a, c, &r);
+  EXPECT_EQ(r, MPI_UNEQUAL);
+}
+
+TEST(Compat, ErrhandlerFig4Pattern) {
+  Runtime rt;
+  static std::atomic<int> handler_runs{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    MPI_Errhandler eh;
+    MPI_Comm_create_errhandler(
+        [](MPI_Comm* c, int* /*code*/) {
+          OMPI_Comm_failure_ack(*c);
+          MPI_Group failed;
+          OMPI_Comm_failure_get_acked(*c, &failed);
+          if (failed.size() == 1) ++handler_runs;
+        },
+        &eh);
+    MPI_Comm_set_errhandler(comm, eh);
+    if (comm.rank() == 1) ftmpi::abort_self();
+    MPI_Barrier(comm);
+    // After the handler acked, agreement succeeds.
+    int flag = 1;
+    EXPECT_EQ(OMPI_Comm_agree(comm, &flag), MPI_SUCCESS);
+  });
+  rt.run("main", 3);
+  EXPECT_EQ(handler_runs.load(), 2);
+}
+
+TEST(Compat, SpawnMultipleAndMergeFig5Pattern) {
+  Runtime rt;
+  std::atomic<int> merged_size{0};
+  rt.register_app("main", [&](const std::vector<std::string>& argv) {
+    if (!argv.empty() && argv[0] == "child") {
+      MPI_Comm parent;
+      MPI_Comm_get_parent(&parent);
+      ASSERT_FALSE(parent.is_null());
+      MPI_Comm unordered;
+      ASSERT_EQ(MPI_Intercomm_merge(parent, 1, &unordered), MPI_SUCCESS);
+      MPI_Barrier(unordered);
+      return;
+    }
+    MPI_Comm comm = world();
+    std::vector<MPI_Info> infos(2);
+    MPI_Info_create(&infos[0]);
+    MPI_Info_create(&infos[1]);
+    MPI_Comm inter;
+    ASSERT_EQ(MPI_Comm_spawn_multiple(2, {"main", "main"}, {{"child"}, {"child"}},
+                                      {1, 1}, infos, 0, comm, &inter,
+                                      MPI_ERRCODES_IGNORE),
+              MPI_SUCCESS);
+    MPI_Comm unordered;
+    ASSERT_EQ(MPI_Intercomm_merge(inter, 0, &unordered), MPI_SUCCESS);
+    if (unordered.rank() == 0) merged_size = unordered.size();
+    MPI_Barrier(unordered);
+  });
+  rt.run("main", 3);
+  EXPECT_EQ(merged_size.load(), 5);
+}
+
+TEST(Compat, AllreduceBothTypes) {
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    const double d = 1.5;
+    double dsum = 0;
+    if (MPI_Allreduce(&d, &dsum, 1, MPI_SUM, comm) != MPI_SUCCESS || dsum != 6.0) ++bad;
+    const int i = comm.rank();
+    int imax = -1;
+    if (MPI_Allreduce(&i, &imax, 1, MPI_MAX, comm) != MPI_SUCCESS || imax != 3) ++bad;
+  });
+  rt.run("main", 4);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Compat, RevokedCommReportsMpiErrRevoked) {
+  Runtime rt;
+  std::atomic<int> code{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    MPI_Comm dup;
+    MPI_Comm_dup(comm, &dup);
+    OMPI_Comm_revoke(&dup);
+    code = MPI_Barrier(dup);
+    MPI_Barrier(comm);  // the original communicator still works
+  });
+  rt.run("main", 2);
+  EXPECT_EQ(code.load(), MPI_ERR_REVOKED);
+}

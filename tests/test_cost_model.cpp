@@ -1,0 +1,153 @@
+// Tests of the virtual-clock cost model: determinism, causality (message
+// arrival times), host-dependent latency, disk and spawn charges, and the
+// cluster profiles that drive the paper's OPL-vs-Raijin contrast.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ftmpi/api.hpp"
+#include "ftmpi/cost_model.hpp"
+#include "ftmpi/runtime.hpp"
+
+using namespace ftmpi;
+
+TEST(ClusterProfiles, PaperDiskLatencies) {
+  const auto opl = ClusterProfile::opl();
+  const auto raijin = ClusterProfile::raijin();
+  EXPECT_DOUBLE_EQ(opl.cost.disk_write_latency, 3.52);   // paper Sec. III-B
+  EXPECT_DOUBLE_EQ(raijin.cost.disk_write_latency, 0.03);
+  EXPECT_EQ(opl.slots_per_host, 12);  // the paper's SLOTS constant
+  EXPECT_EQ(ClusterProfile::by_name("RAIJIN").name, "Raijin");
+  EXPECT_EQ(ClusterProfile::by_name("unknown").name, "OPL");
+}
+
+TEST(CostModel, LatencySelectsByHost) {
+  const CostModel cm;
+  EXPECT_LT(cm.latency(true), cm.latency(false));
+  EXPECT_GT(cm.bandwidth(true), cm.bandwidth(false));
+  EXPECT_DOUBLE_EQ(cm.transfer_time(1000, true), 1000.0 / cm.intra_host_bandwidth);
+}
+
+TEST(VirtualClock, CrossHostMessageIsSlower) {
+  // Two ranks on the same host vs two on different hosts (slots=1).
+  auto one_msg_time = [](int slots) {
+    Runtime::Options opt;
+    opt.slots_per_host = slots;
+    Runtime rt(opt);
+    std::atomic<double> t{0};
+    rt.register_app("main", [&](const std::vector<std::string>&) {
+      Comm& w = world();
+      double payload = 1.0;
+      if (w.rank() == 0) send(&payload, 1, 1, 0, w);
+      if (w.rank() == 1) {
+        recv(&payload, 1, 0, 0, w);
+        t = wtime();
+      }
+    });
+    rt.run("main", 2);
+    return t.load();
+  };
+  const double same_host = one_msg_time(2);
+  const double cross_host = one_msg_time(1);
+  EXPECT_GT(cross_host, same_host);
+}
+
+TEST(VirtualClock, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Runtime rt;
+    std::atomic<double> t{0};
+    rt.register_app("main", [&](const std::vector<std::string>&) {
+      Comm& w = world();
+      for (int i = 0; i < 10; ++i) {
+        double v = i;
+        allreduce(&v, &v, 1, ReduceOp::Sum, w);
+      }
+      barrier(w);
+      if (w.rank() == 0) t = wtime();
+    });
+    rt.run("main", 6);
+    return t.load();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // pure causal function of the message pattern
+}
+
+TEST(VirtualClock, ArrivalTimeOrdersCausally) {
+  // A receiver that was "ahead" in virtual time keeps its clock; one that
+  // was behind jumps to the arrival time.
+  Runtime rt;
+  std::atomic<double> ahead{0}, behind{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    double v = 0;
+    if (w.rank() == 0) {
+      advance(1.0);  // the sender works for 1s before sending
+      send(&v, 1, 1, 0, w);
+      send(&v, 1, 2, 0, w);
+    } else if (w.rank() == 1) {
+      recv(&v, 1, 0, 0, w);  // idle receiver: clock jumps past 1s
+      behind = wtime();
+    } else {
+      advance(5.0);  // busy receiver: clock stays at ~5s
+      recv(&v, 1, 0, 0, w);
+      ahead = wtime();
+    }
+  });
+  rt.run("main", 3);
+  EXPECT_GT(behind.load(), 1.0);
+  EXPECT_LT(behind.load(), 1.1);
+  EXPECT_GE(ahead.load(), 5.0);
+  EXPECT_LT(ahead.load(), 5.1);
+}
+
+TEST(VirtualClock, DiskChargesFollowProfile) {
+  for (const auto& profile : {ClusterProfile::opl(), ClusterProfile::raijin()}) {
+    Runtime::Options opt;
+    opt.cost = profile.cost;
+    Runtime rt(opt);
+    std::atomic<double> t{0};
+    rt.register_app("main", [&](const std::vector<std::string>&) {
+      charge_disk_write(8000);
+      t = wtime();
+    });
+    rt.run("main", 1);
+    EXPECT_GE(t.load(), profile.cost.disk_write_latency) << profile.name;
+    EXPECT_LT(t.load(), profile.cost.disk_write_latency + 1e-3) << profile.name;
+  }
+}
+
+TEST(VirtualClock, SpawnCostGrowsWithCommSize) {
+  auto spawn_time = [](int procs) {
+    Runtime rt;
+    std::atomic<double> t{0};
+    rt.register_app("main", [&](const std::vector<std::string>& argv) {
+      if (!argv.empty()) return;  // child: exit immediately
+      Comm& w = world();
+      const double t0 = wtime();
+      Comm inter;
+      std::vector<SpawnUnit> units{{"main", {"c"}, 1, -1}};
+      comm_spawn_multiple(units, 0, w, &inter);
+      if (w.rank() == 0) t = wtime() - t0;
+    });
+    rt.run("main", procs);
+    return t.load();
+  };
+  const double small = spawn_time(4);
+  const double large = spawn_time(32);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);  // the Table I trend
+}
+
+TEST(VirtualClock, ChargeFlopsUsesFlopsRate) {
+  Runtime rt;
+  std::atomic<double> t{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    charge_flops(3.0e9);
+    t = wtime();
+  });
+  rt.run("main", 1);
+  EXPECT_NEAR(t.load(), 1.0, 1e-9);  // default flops_rate = 3e9
+}

@@ -1,0 +1,122 @@
+// Tests for the diffusion (heat equation) solver — the second PDE that
+// demonstrates the substrate generalizes beyond advection: FTCS correctness,
+// convergence, parallel-vs-serial agreement, combination-technique
+// compatibility, and failure surfacing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "advection/diffusion.hpp"
+#include "combination/combine.hpp"
+#include "ftmpi/api.hpp"
+#include "ftmpi/runtime.hpp"
+
+using namespace ftr::advection;
+using ftr::grid::Grid2D;
+using ftr::grid::Level;
+
+TEST(Diffusion, ExactSolutionDecays) {
+  const DiffusionProblem p{0.05};
+  EXPECT_NEAR(p.exact(0.25, 0.25, 0.0), p.initial(0.25, 0.25), 1e-14);
+  EXPECT_LT(std::abs(p.exact(0.25, 0.25, 0.1)), std::abs(p.initial(0.25, 0.25)));
+}
+
+TEST(Diffusion, StableTimestepRespectsBound) {
+  const DiffusionProblem p{0.1};
+  const double dt = diffusion_stable_timestep(5, p, 0.9);
+  const double h = 1.0 / 32.0;
+  EXPECT_LE(p.kappa * dt * (2.0 / (h * h)), 0.5 + 1e-12);
+}
+
+TEST(Diffusion, SerialSolverTracksAnalyticDecay) {
+  const DiffusionProblem p{0.05};
+  const double dt = diffusion_stable_timestep(5, p, 0.8);
+  SerialDiffusionSolver s(Level{5, 5}, p, dt);
+  s.run(200);
+  EXPECT_GT(s.time(), 0.0);
+  EXPECT_LT(s.l1_error(), 2e-3);
+  // The field has genuinely decayed.
+  EXPECT_LT(std::abs(s.grid().at(8, 8)), std::abs(p.initial(0.25, 0.25)));
+}
+
+TEST(Diffusion, SpatialConvergence) {
+  const DiffusionProblem p{0.05};
+  const double dt = diffusion_stable_timestep(6, p, 0.4);
+  std::vector<double> errs;
+  for (int l : {4, 5}) {
+    SerialDiffusionSolver s(Level{l, l}, p, dt);
+    s.run(100);
+    errs.push_back(s.l1_error());
+  }
+  EXPECT_GT(errs[0] / errs[1], 2.0);  // ~2nd order in space
+}
+
+TEST(Diffusion, ParallelMatchesSerial) {
+  ftmpi::Runtime rt;
+  std::atomic<int> bad{0};
+  const DiffusionProblem p{0.05};
+  const Level level{5, 4};
+  const double dt = diffusion_stable_timestep(5, p, 0.8);
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ParallelDiffusionSolver solver(level, p, dt, ftmpi::world());
+    if (solver.run(50) != ftmpi::kSuccess) ++bad;
+    Grid2D full;
+    if (solver.gather_full(&full) != ftmpi::kSuccess) ++bad;
+    if (ftmpi::world().rank() == 0) {
+      SerialDiffusionSolver ref(level, p, dt);
+      ref.run(50);
+      for (int iy = 0; iy < full.ny(); ++iy) {
+        for (int ix = 0; ix < full.nx(); ++ix) {
+          if (std::abs(full.at(ix, iy) - ref.grid().at(ix, iy)) > 1e-12) ++bad;
+        }
+      }
+    }
+  });
+  rt.run("main", 8);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Diffusion, CombinationTechniqueApplies) {
+  // The combination of diffusion sub-grid solutions beats the worst
+  // component, exactly as for advection.
+  const ftr::comb::Scheme s{6, 3};
+  const DiffusionProblem p{0.02};
+  const double dt = diffusion_stable_timestep(s.n, p, 0.8);
+  const long steps = 60;
+  const double t = static_cast<double>(steps) * dt;
+
+  std::vector<Grid2D> grids;
+  double worst = 0;
+  for (const Level& lv : s.combination_levels()) {
+    SerialDiffusionSolver solver(lv, p, dt);
+    solver.run(steps);
+    worst = std::max(worst, solver.l1_error());
+    grids.push_back(solver.grid());
+  }
+  std::vector<const Grid2D*> ptrs;
+  for (const auto& g : grids) ptrs.push_back(&g);
+  const Grid2D combined =
+      ftr::comb::combine_full(s, ftr::comb::classic_components(s, ptrs));
+  const double err =
+      ftr::grid::l1_error(combined, [&](double x, double y) { return p.exact(x, y, t); });
+  EXPECT_LT(err, worst);
+}
+
+TEST(Diffusion, SurfacesFailureDuringStep) {
+  ftmpi::Runtime rt;
+  std::atomic<int> fail_codes{0};
+  const DiffusionProblem p{0.05};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    ftmpi::Comm& w = ftmpi::world();
+    ParallelDiffusionSolver solver(Level{5, 5}, p, diffusion_stable_timestep(5, p), w);
+    if (w.rank() == 1) {
+      solver.run(3);
+      ftmpi::abort_self();
+    }
+    if (solver.run(50) == ftmpi::kErrProcFailed) ++fail_codes;
+  });
+  rt.run("main", 4);
+  EXPECT_GE(fail_codes.load(), 1);
+}

@@ -1,0 +1,71 @@
+// Randomized robustness sweep of the fault-tolerant application: random
+// victim ranks and kill steps drawn per seed, across all techniques and
+// failure counts.  Asserts survival properties (the run completes, exactly
+// the planned processes die, one repair fixes a simultaneous group, the
+// error stays bounded) rather than exact values.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/failure_gen.hpp"
+#include "core/ft_app.hpp"
+#include "ftmpi/runtime.hpp"
+
+using namespace ftr::core;
+using ftr::comb::Scheme;
+using ftr::comb::Technique;
+
+namespace {
+
+AppConfig sweep_app(Technique t) {
+  AppConfig cfg;
+  cfg.layout.scheme = Scheme{6, 3};
+  cfg.layout.technique = t;
+  cfg.layout.procs_diagonal = 4;
+  cfg.layout.procs_lower = 2;
+  cfg.layout.procs_extra_upper = 2;
+  cfg.layout.procs_extra_lower = 1;
+  cfg.timesteps = 24;
+  cfg.checkpoints = 2;
+  return cfg;
+}
+
+}  // namespace
+
+class FtAppSweep : public ::testing::TestWithParam<std::tuple<Technique, int, int>> {};
+
+TEST_P(FtAppSweep, SurvivesRandomFailures) {
+  const auto [technique, failures, seed] = GetParam();
+  AppConfig cfg = sweep_app(technique);
+  const Layout layout = build_layout(cfg.layout);
+  ftr::Xoshiro256 rng(static_cast<uint64_t>(seed));
+  cfg.failures = random_real_failures(layout, failures, cfg.timesteps, rng);
+  ASSERT_EQ(cfg.failures.kill_at_step.size(), static_cast<size_t>(failures));
+
+  ftmpi::Runtime::Options opts;
+  opts.real_time_limit_sec = 120.0;
+  ftmpi::Runtime rt(opts);
+  FtApp app(cfg);
+  const int killed = app.launch(rt);
+
+  EXPECT_EQ(killed, failures);
+  // All victims die at the same step, so one repair episode fixes them.
+  EXPECT_DOUBLE_EQ(rt.get(keys::kRepairs, -1), 1.0);
+  const double err = rt.get(keys::kErrorL1, -1);
+  ASSERT_GE(err, 0.0) << "run did not produce a combined solution";
+  EXPECT_LT(err, 1.0);
+  EXPECT_GT(rt.get(keys::kReconSpawn, -1), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, FtAppSweep,
+    ::testing::Combine(::testing::Values(Technique::CheckpointRestart,
+                                         Technique::ResamplingCopying,
+                                         Technique::AlternateCombination),
+                       ::testing::Values(1, 2, 3), ::testing::Values(101, 202)),
+    [](const auto& info) {
+      return std::string(ftr::comb::technique_tag(std::get<0>(info.param))) + "_f" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });

@@ -1,0 +1,119 @@
+// Tests for scatter/scatterv, comm_free, error_string, and the predefined
+// error handlers of the compat layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "ftmpi/api.hpp"
+#include "ftmpi/mpi_compat.hpp"
+#include "ftmpi/runtime.hpp"
+
+using namespace ftmpi;
+
+TEST(Scatter, DistributesSlicesInRankOrder) {
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    std::vector<int> all;
+    if (w.rank() == 1) {
+      for (int r = 0; r < w.size(); ++r) {
+        all.push_back(100 + r);
+        all.push_back(200 + r);
+      }
+    }
+    int mine[2] = {-1, -1};
+    ASSERT_EQ(scatter(all.data(), 2, mine, 1, w), kSuccess);
+    if (mine[0] != 100 + w.rank() || mine[1] != 200 + w.rank()) ++bad;
+  });
+  rt.run("main", 5);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Scatter, VariableSizedParts) {
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    std::vector<std::vector<std::byte>> parts;
+    if (w.rank() == 0) {
+      for (int r = 0; r < w.size(); ++r) {
+        parts.emplace_back(static_cast<size_t>(r + 1), std::byte{static_cast<uint8_t>(r)});
+      }
+    }
+    std::vector<std::byte> mine;
+    ASSERT_EQ(scatterv_bytes(parts, &mine, 0, w), kSuccess);
+    if (mine.size() != static_cast<size_t>(w.rank() + 1)) ++bad;
+    for (std::byte b : mine) {
+      if (b != std::byte{static_cast<uint8_t>(w.rank())}) ++bad;
+    }
+  });
+  rt.run("main", 4);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Scatter, DeadMemberYieldsRootError) {
+  Runtime rt;
+  std::atomic<int> root_code{-1};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    if (w.rank() == 2) abort_self();
+    while (!runtime().is_dead(w.group().pids[2])) {}
+    std::vector<int> all(static_cast<size_t>(w.size()), 7);
+    int mine = 0;
+    const int rc = scatter(all.data(), 1, &mine, 0, w);
+    if (w.rank() == 0) root_code = rc;
+  });
+  rt.run("main", 3);
+  EXPECT_EQ(root_code.load(), kErrProcFailed);
+}
+
+TEST(CommFree, NullsHandle) {
+  Runtime rt;
+  std::atomic<int> bad{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm dup;
+    comm_dup(world(), &dup);
+    if (dup.is_null()) ++bad;
+    if (comm_free(&dup) != kSuccess) ++bad;
+    if (!dup.is_null()) ++bad;
+    // World keeps working after freeing the dup.
+    if (barrier(world()) != kSuccess) ++bad;
+  });
+  rt.run("main", 2);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ErrorString, CoversAllCodes) {
+  EXPECT_STREQ(error_string(kSuccess), "MPI_SUCCESS");
+  EXPECT_NE(std::strstr(error_string(kErrProcFailed), "PROC_FAILED"), nullptr);
+  EXPECT_NE(std::strstr(error_string(kErrRevoked), "REVOKED"), nullptr);
+  EXPECT_NE(std::strstr(error_string(12345), "unknown"), nullptr);
+}
+
+TEST(CompatHandlers, ErrorsAreFatalAbortsOnError) {
+  using namespace ftmpi::compat;
+  Runtime rt;
+  std::atomic<int> after{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    MPI_Comm comm = world();
+    MPI_Comm_set_errhandler(comm, MPI_ERRORS_ARE_FATAL);
+    if (comm.rank() == 1) ftmpi::abort_self();
+    MPI_Barrier(comm);  // error -> fatal handler -> self-abort
+    ++after;            // unreachable on survivors
+  });
+  const int killed = rt.run("main", 3);
+  EXPECT_EQ(killed, 3);  // the victim plus both survivors via the handler
+  EXPECT_EQ(after.load(), 0);
+}
+
+TEST(CompatHandlers, ErrorStringViaCompat) {
+  using namespace ftmpi::compat;
+  char buf[128];
+  int len = 0;
+  EXPECT_EQ(MPI_Error_string(MPI_ERR_REVOKED, buf, &len), MPI_SUCCESS);
+  EXPECT_GT(len, 0);
+  EXPECT_NE(std::strstr(buf, "REVOKED"), nullptr);
+}

@@ -1,0 +1,109 @@
+// Tests of the runtime event trace: off by default, records the repair
+// pipeline's event sequence when enabled, bounded capacity.
+
+#include <gtest/gtest.h>
+
+#include "core/reconstruct.hpp"
+#include "ftmpi/api.hpp"
+#include "ftmpi/runtime.hpp"
+#include "ftmpi/trace.hpp"
+
+using namespace ftmpi;
+
+TEST(Trace, OffByDefaultRecordsNothing) {
+  Runtime rt;
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    if (world().rank() == 1) abort_self();
+    barrier(world());
+  });
+  rt.run("main", 3);
+  EXPECT_TRUE(rt.trace().events().empty());
+}
+
+TEST(Trace, RecordsRepairPipelineSequence) {
+  Runtime rt;
+  rt.trace().enable();
+  rt.register_app("app", [&](const std::vector<std::string>& argv) {
+    ftr::core::Reconstructor recon({"app", argv});
+    if (!get_parent().is_null()) {
+      recon.reconstruct({});
+      return;
+    }
+    Comm w = world();
+    if (w.rank() == 2 || w.rank() == 4) abort_self();
+    recon.reconstruct(w);
+  });
+  rt.run("app", 6);
+
+  EXPECT_EQ(rt.trace().events_of(TraceEvent::Kill).size(), 2u);
+  // Every surviving rank revokes the broken communicator inside repairComm
+  // (revoke is a local ULFM call), all against the same context.
+  const auto revokes = rt.trace().events_of(TraceEvent::Revoke);
+  ASSERT_GE(revokes.size(), 1u);
+  EXPECT_EQ(revokes.size(), 4u);  // one per survivor
+  for (const auto& r : revokes) EXPECT_EQ(r.value, revokes[0].value);
+  const auto shrinks = rt.trace().events_of(TraceEvent::Shrink);
+  ASSERT_EQ(shrinks.size(), 1u);
+  EXPECT_EQ(shrinks[0].value, 4);  // 6 - 2 survivors
+  const auto spawns = rt.trace().events_of(TraceEvent::Spawn);
+  ASSERT_EQ(spawns.size(), 1u);
+  EXPECT_EQ(spawns[0].value, 2);
+  const auto merges = rt.trace().events_of(TraceEvent::Merge);
+  ASSERT_EQ(merges.size(), 1u);
+  EXPECT_EQ(merges[0].value, 6);  // merged intracomm back at full size
+
+  // Ordering: kill before revoke before shrink before spawn (by record
+  // order; virtual timestamps are per-process).
+  const auto all = rt.trace().events();
+  auto index_of = [&](TraceEvent e) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i].event == e) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  EXPECT_LT(index_of(TraceEvent::Kill), index_of(TraceEvent::Revoke));
+  EXPECT_LT(index_of(TraceEvent::Revoke), index_of(TraceEvent::Shrink));
+  EXPECT_LT(index_of(TraceEvent::Shrink), index_of(TraceEvent::Spawn));
+
+  // The formatter emits one line per event.
+  const std::string text = rt.trace().format();
+  EXPECT_NE(text.find("revoke"), std::string::npos);
+  EXPECT_NE(text.find("spawn"), std::string::npos);
+}
+
+TEST(Trace, CapacityIsBounded) {
+  Runtime rt;
+  rt.trace().enable(/*capacity=*/3);
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    for (int i = 0; i < 10; ++i) {
+      Comm dup;
+      comm_dup(w, &dup);  // each successful split records one event
+    }
+  });
+  rt.run("main", 2);
+  EXPECT_LE(rt.trace().events().size(), 3u);
+  rt.trace().clear();
+  EXPECT_TRUE(rt.trace().events().empty());
+}
+
+TEST(Trace, HostFailureRecorded) {
+  Runtime::Options o;
+  o.slots_per_host = 2;
+  Runtime rt(o);
+  rt.trace().enable();
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    if (world().rank() == 0) {
+      runtime().fail_host(1);
+      return;
+    }
+    if (runtime().host_of(self_pid()) != 1) return;  // bystanders exit
+    // Residents of the failing node spin until the kill unwinds them.
+    while (true) advance(1e-7);
+  });
+  rt.run("main", 4);  // ranks 0,1 on host 0; ranks 2,3 on host 1
+  const auto fails = rt.trace().events_of(TraceEvent::HostFail);
+  ASSERT_EQ(fails.size(), 1u);
+  EXPECT_EQ(fails[0].value, 1);
+  EXPECT_EQ(rt.trace().events_of(TraceEvent::Kill).size(), 2u);
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Plot the bench CSVs as paper-style figures.
+
+Each bench binary accepts --csv=<path>; run them first, e.g.:
+
+    build/bench/bench_fig8_reconstruct --csv=out/fig8.csv
+    build/bench/bench_table1_primitives --csv=out/table1.csv
+    build/bench/bench_fig10_error --csv=out/fig10.csv
+    build/bench/bench_fig11_scalability --csv=out/fig11.csv
+
+then:
+
+    tools/plot_benches.py out/*.csv -o out/
+
+Figures are drawn with matplotlib when available; otherwise the script
+prints the parsed tables so the data is still inspectable.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return [], []
+    header, data = rows[0], rows[1:]
+    return header, data
+
+
+def numeric(col):
+    out = []
+    for v in col:
+        try:
+            out.append(float(v))
+        except ValueError:
+            out.append(float("nan"))
+    return out
+
+
+def plot_file(path, outdir, plt):
+    header, data = read_csv(path)
+    if not data:
+        print(f"{path}: empty, skipped")
+        return
+    name = os.path.splitext(os.path.basename(path))[0]
+
+    # Generic treatment: first column is the x axis (or a category); every
+    # numeric column after it becomes a series.
+    xs_raw = [row[0] for row in data]
+    try:
+        xs = [float(v) for v in xs_raw]
+        categorical = False
+    except ValueError:
+        xs = list(range(len(xs_raw)))
+        categorical = True
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for c in range(1, len(header)):
+        ys = numeric([row[c] if c < len(row) else "nan" for row in data])
+        if all(y != y for y in ys):  # all NaN: non-numeric column
+            continue
+        ax.plot(xs, ys, marker="o", label=header[c])
+    if categorical:
+        ax.set_xticks(xs)
+        ax.set_xticklabels(xs_raw, rotation=30, ha="right")
+    ax.set_xlabel(header[0])
+    ax.set_ylabel("virtual seconds / value")
+    ax.set_title(name)
+    if any("(s)" in h for h in header[1:]):
+        ax.set_yscale("log")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(outdir, name + ".png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csvs", nargs="+", help="CSV files produced by the benches")
+    ap.add_argument("-o", "--outdir", default=".", help="output directory for PNGs")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing tables instead\n")
+        for path in args.csvs:
+            header, data = read_csv(path)
+            print(f"== {path}")
+            print("\t".join(header))
+            for row in data:
+                print("\t".join(row))
+            print()
+        return 0
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for path in args.csvs:
+        plot_file(path, args.outdir, plt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
