@@ -1,0 +1,94 @@
+// Cascading-failure bench: reconstruction cost when the repair itself is
+// hit by further failures.
+//
+// A first failure triggers communicatorReconstruct; 0, 1 or 2 chaos kills
+// then strike *during* the repair (at the spawn and merge phase
+// boundaries), forcing the bounded-retry loop to restart from revoke.
+// Reported per (cores, nested kills): mean reconstruction time (virtual
+// seconds, rank 0), repair attempts, and Fig. 3 do-while iterations.
+// Expected shape: each nested kill adds roughly one full repair pass, so
+// time and attempts grow with the kill count while the protocol still
+// converges to a full-size, rank-ordered world.
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "core/chaos.hpp"
+#include "core/reconstruct.hpp"
+#include "ftmpi/api.hpp"
+
+using namespace ftr;
+using namespace ftr::bench;
+using namespace ftr::core;
+
+namespace {
+
+struct Sample {
+  double reconstruct = 0;
+  int attempts = 0;
+  int iterations = 0;
+  bool ok = false;
+};
+
+/// One measurement: kill the last rank mid-run, then `nested` more victims
+/// at recovery phase boundaries while the repair runs.
+Sample measure(const BenchEnv& env, int procs, int nested) {
+  ftmpi::Runtime rt(env.runtime_options(/*scale_compute=*/false));
+  ChaosInjector chaos(rt);
+  if (nested >= 1) chaos.schedule({.phase = "spawn", .victim = 2, .occurrence = 1});
+  if (nested >= 2) chaos.schedule({.phase = "merge", .victim = 4, .occurrence = 1});
+
+  std::atomic<double> t_total{0};
+  std::atomic<int> attempts{0}, iterations{0};
+  std::atomic<bool> ok{false};
+  rt.register_app("app", [&](const std::vector<std::string>& argv) {
+    Reconstructor recon({"app", argv});
+    if (!ftmpi::get_parent().is_null()) {
+      recon.reconstruct({});
+      return;
+    }
+    ftmpi::Comm w = ftmpi::world();
+    const int r = w.rank();
+    if (r == procs - 1) ftmpi::abort_self();
+    const auto res = recon.reconstruct(w);
+    if (r == 0) {
+      t_total = res.timings.total;
+      attempts = res.attempts;
+      iterations = res.iterations;
+      ok = res.repaired && !res.exhausted && res.comm.size() == procs;
+    }
+  });
+  rt.run("app", procs);
+  return Sample{t_total.load(), attempts.load(), iterations.load(), ok.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_cli(cli);
+  const auto cores = cli.get_int_list("cores", {19, 38, 76});
+  const auto kills = cli.get_int_list("nested", {0, 1, 2});
+
+  Table table({"cores", "nested_kills", "reconstruct(s)", "attempts", "iterations", "ok"});
+  for (long procs : cores) {
+    for (long nested : kills) {
+      std::vector<double> t, a, it;
+      bool all_ok = true;
+      for (int rep = 0; rep < env.reps; ++rep) {
+        const Sample s = measure(env, static_cast<int>(procs), static_cast<int>(nested));
+        t.push_back(s.reconstruct);
+        a.push_back(static_cast<double>(s.attempts));
+        it.push_back(static_cast<double>(s.iterations));
+        all_ok = all_ok && s.ok;
+      }
+      table.add_row({Table::num(procs), Table::num(nested), Table::num(mean(t)),
+                     Table::num(mean(a)), Table::num(mean(it)),
+                     all_ok ? "yes" : "NO"});
+    }
+  }
+  emit(table, env,
+       "Cascading failures: reconstruction time and retry counts under 0/1/2 "
+       "failures injected during the repair itself");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used by the
+// checkpoint store to detect torn or corrupted on-disk snapshots.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ftr {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace detail
+
+/// Incremental CRC-32: pass the previous result as `seed` to chain buffers.
+inline std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0) {
+  static constexpr auto table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ftr

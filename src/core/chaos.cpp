@@ -1,0 +1,98 @@
+#include "core/chaos.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftr::core {
+
+ChaosInjector::ChaosInjector(ftmpi::Runtime& rt) : rt_(rt) {
+  rt_.set_chaos_hook([this](const char* phase, ftmpi::ProcId pid) { on_phase(phase, pid); });
+}
+
+ChaosInjector::~ChaosInjector() { rt_.set_chaos_hook(nullptr); }
+
+void ChaosInjector::schedule(ChaosEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_.push_back(std::move(ev));
+  fired_flags_.push_back(false);
+}
+
+int ChaosInjector::kills_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(fired_log_.size());
+}
+
+std::vector<ChaosEvent> ChaosInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_log_;
+}
+
+void ChaosInjector::on_phase(const char* phase, ftmpi::ProcId pid) {
+  ChaosEvent to_fire;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int visit = ++visits_[{pid, phase}];
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+      const ChaosEvent& ev = schedule_[i];
+      if (fired_flags_[i] || ev.victim != pid || ev.occurrence != visit ||
+          ev.phase != phase) {
+        continue;
+      }
+      fired_flags_[i] = true;
+      fired_log_.push_back(ev);
+      to_fire = ev;
+      fire = true;
+      break;
+    }
+  }
+  if (!fire) return;
+  // Kill outside the injector lock: Runtime::kill takes runtime locks and
+  // wakes mailbox waiters.
+  if (to_fire.fail_host) {
+    const int host = rt_.host_of(pid);
+    FTR_WARN("chaos: failing host %d (pid %d at phase '%s', occurrence %d)", host,
+             static_cast<int>(pid), phase, to_fire.occurrence);
+    rt_.fail_host(host);
+  } else {
+    FTR_WARN("chaos: killing pid %d at phase '%s' (occurrence %d)", static_cast<int>(pid),
+             phase, to_fire.occurrence);
+    rt_.kill(pid);
+  }
+}
+
+std::vector<ChaosEvent> ChaosInjector::random_plan(std::uint64_t seed, int world_size,
+                                                   int kills,
+                                                   const std::vector<std::string>& phases) {
+  // splitmix64: tiny, deterministic, good enough for picking victims.
+  auto next = [state = seed]() mutable {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  std::vector<ChaosEvent> plan;
+  if (world_size < 2 || phases.empty()) return plan;
+  std::vector<bool> used(static_cast<std::size_t>(world_size), false);
+  for (int k = 0; k < kills; ++k) {
+    // Distinct victims, never pid 0 (rank 0 reports results in tests).
+    ftmpi::ProcId victim = -1;
+    for (int tries = 0; tries < 8 * world_size; ++tries) {
+      const auto cand = 1 + static_cast<ftmpi::ProcId>(next() % (world_size - 1));
+      if (!used[static_cast<std::size_t>(cand)]) {
+        used[static_cast<std::size_t>(cand)] = true;
+        victim = cand;
+        break;
+      }
+    }
+    if (victim < 0) break;  // more kills requested than distinct victims exist
+    ChaosEvent ev;
+    ev.phase = phases[next() % phases.size()];
+    ev.victim = victim;
+    ev.occurrence = 1;
+    plan.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+}  // namespace ftr::core

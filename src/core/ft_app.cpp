@@ -40,9 +40,17 @@ struct FtApp::RankState {
   std::set<int> real_lost_grids;
   std::vector<int> last_failed_ranks;  // survivors: from the last repair
   long bcast_interval = -1;            // interval index from the last post-repair broadcast
+  // Shrink-mode degradation: once replacements cannot be placed, the run
+  // continues on the shrunken world.  `wrank` keeps the ORIGINAL world rank
+  // (layout identity); `dview` translates to the compacted ranks.  A rank
+  // whose grid lost a member idles (no solver) until the final combination.
+  bool degraded = false;
+  DegradedView dview;
+  std::set<int> failed_union;  // original ranks failed so far, all repairs
   // rank-0 metrics
   ReconstructTimings recon_sum{};
   int repairs = 0;
+  int recon_attempts = 0;
   double recovery_time = 0.0;
   double ckpt_write_total = 0.0;
   double solve_time = 0.0;
@@ -172,9 +180,12 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
   const long c = cfg_.checkpoints;
   for (long i = start_interval; i <= c; ++i) {
     const long target = interval_target(i);
-    const double t0 = ftmpi::wtime();
-    const int step_rc = solve_to(st, target);
-    st.solve_time += ftmpi::wtime() - t0;
+    int step_rc = kSuccess;
+    if (st.solver) {  // idle (degraded) ranks skip straight to detection
+      const double t0 = ftmpi::wtime();
+      step_rc = solve_to(st, target);
+      st.solve_time += ftmpi::wtime() - t0;
+    }
     // ULFM practice: a rank that observed the failure revokes the group
     // communicator so group mates blocked in halo exchange learn of it and
     // reach the detection point too (otherwise they would wait forever on a
@@ -184,21 +195,21 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
     // Detection is tested before the checkpoint write (paper Sec. III).
     const auto res = st.recon.reconstruct(st.world);
     if (res.repaired) {
-      st.world = res.comm;
-      st.last_failed_ranks = res.failed_ranks;
-      if (st.wrank == 0) {
-        ++st.repairs;
-        accumulate_timings(st, res.timings);
-      }
+      if (!adopt_reconstruction(st, res)) return;
       post_repair(st, i, /*is_child=*/false);
       // The failed grid restarted from the recent checkpoint instead of
       // writing a new one (paper); no write this interval.
       continue;
     }
+    if (res.exhausted) return;  // budget spent without a usable world
     if (i == c) break;  // final interval has no checkpoint write
     const double tw = ftmpi::wtime();
-    store_->write(st.grid, st.gcomm.rank(), st.solver->steps_done(),
-                  pack_interior(st.solver->field()));
+    if (st.solver) {
+      store_->write(st.grid, st.gcomm.rank(), st.solver->steps_done(),
+                    pack_interior(st.solver->field()));
+    }
+    // A chaos kill inside the write surfaces here (or at the next solve);
+    // the next detection point repairs and the grid rolls back.
     ftmpi::barrier(st.world);
     if (st.wrank == 0) st.ckpt_write_total += ftmpi::wtime() - tw;
   }
@@ -215,14 +226,40 @@ void FtApp::run_combination_technique(RankState& st) {
   // Single detection point at the end, before the combination (paper).
   const auto res = st.recon.reconstruct(st.world);
   if (res.repaired) {
-    st.world = res.comm;
-    st.last_failed_ranks = res.failed_ranks;
-    if (st.wrank == 0) {
-      ++st.repairs;
-      accumulate_timings(st, res.timings);
-    }
+    if (!adopt_reconstruction(st, res)) return;
     post_repair(st, cfg_.checkpoints /* => target = timesteps */, /*is_child=*/false);
   }
+}
+
+bool FtApp::adopt_reconstruction(RankState& st, const ReconstructResult& res) {
+  if (res.exhausted) {
+    FTR_ERROR("ft_app: reconstruction exhausted its budget (rank %d); stopping", st.wrank);
+    return false;
+  }
+  st.world = res.comm;
+  // Failed ranks reported from an already-degraded world are compacted
+  // ranks; translate back to original ranks before any layout bookkeeping.
+  std::vector<int> orig_failed = res.failed_ranks;
+  if (st.degraded) {
+    for (int& r : orig_failed) r = st.dview.original_rank_of(r);
+  }
+  st.last_failed_ranks = orig_failed;
+  for (int r : orig_failed) st.failed_union.insert(r);
+  if (res.mode == RecoveryMode::Degraded) st.degraded = true;
+  if (st.degraded) {
+    // Degradation is sticky: it only triggers when the cluster has no free
+    // slots, and failed hosts never come back, so later failures degrade
+    // further rather than repairing.
+    st.dview = build_degraded_view(
+        layout_, std::vector<int>(st.failed_union.begin(), st.failed_union.end()));
+    for (int g : st.dview.lost_grids) st.real_lost_grids.insert(g);
+  }
+  if (st.wrank == 0) {
+    ++st.repairs;
+    st.recon_attempts += res.attempts;
+    accumulate_timings(st, res.timings);
+  }
+  return true;
 }
 
 void FtApp::accumulate_timings(RankState& st, const ReconstructTimings& t) {
@@ -256,12 +293,23 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
 
   // 2. Rebuild the per-grid communicators over the repaired world; ranks
   //    are unchanged, so the same split reproduces the original groups.
-  int rc = ftmpi::comm_split(st.world, st.grid, st.wrank, &st.gcomm);
+  //    Degraded mode: grids that lost a member stay lost — their surviving
+  //    ranks idle (undefined color, no solver) but keep joining world
+  //    collectives; complete grids keep their exact groups.
+  const bool my_grid_lost = st.degraded && st.dview.grid_lost(st.grid);
+  const int color = my_grid_lost ? ftmpi::kUndefinedColor : st.grid;
+  int rc = ftmpi::comm_split(st.world, color, st.wrank, &st.gcomm);
   if (rc != kSuccess) {
-    FTR_ERROR("ft_app: grid comm rebuild failed (%d)", rc);
+    FTR_ERROR("ft_app: grid comm rebuild failed (%s)", ftmpi::error_string(rc));
     return;
   }
-  if (is_child || !st.solver) {
+  if (my_grid_lost) {
+    if (st.solver) {
+      FTR_WARN("ft_app: rank %d idles — grid %d lost a member in degraded mode", st.wrank,
+               st.grid);
+    }
+    st.solver.reset();
+  } else if (is_child || !st.solver) {
     st.solver = std::make_unique<ParallelSolver>(
         layout_.slots[static_cast<size_t>(st.grid)].level, cfg_.problem, st.dt, st.gcomm);
   } else {
@@ -270,39 +318,67 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
 
   // 3. Technique-specific restoration of the really-lost grids, timed as a
   //    barrier-delimited window on rank 0's (synchronized) virtual clock.
+  //    Degraded mode defers all recovery to the GCP combination (there is
+  //    no complete group to restore onto), but every rank still runs the
+  //    delimiting barriers.
   std::vector<int> lost(lost_ids.begin(), lost_ids.end());
   ftmpi::barrier(st.world);
   const double t0 = ftmpi::wtime();
-  switch (cfg_.layout.technique) {
-    case Technique::CheckpointRestart:
-      cr_restore(st, lost, interval_target(header[0]));
-      break;
-    case Technique::ResamplingCopying:
-      rc_restore(st, lost);
-      break;
-    case Technique::AlternateCombination:
-      // Recovery happens at the combination (coefficients + sampling).
-      break;
+  if (!st.degraded) {
+    switch (cfg_.layout.technique) {
+      case Technique::CheckpointRestart:
+        cr_restore(st, lost, interval_target(header[0]));
+        break;
+      case Technique::ResamplingCopying:
+        rc_restore(st, lost);
+        break;
+      case Technique::AlternateCombination:
+        // Recovery happens at the combination (coefficients + sampling).
+        break;
+    }
   }
   ftmpi::barrier(st.world);
   if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
 }
 
 void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target) {
+  if (!st.solver) return;  // idle (degraded) ranks have nothing to restore
   if (std::find(lost.begin(), lost.end(), st.grid) == lost.end()) return;
   // The whole group of a failed grid rolls back to its most recent
   // checkpoint (survivors' local updates are unusable, paper Sec. II-D)
-  // and recomputes the lost timesteps.
-  const auto snap = store_->read_latest(st.grid, st.gcomm.rank());
-  if (snap.has_value()) {
+  // and recomputes the lost timesteps.  "Most recent" must be *group
+  // consistent*: a member that died during its write, or whose newest
+  // snapshot failed CRC validation, only has an older generation, so the
+  // group agrees on the minimum available step and everyone restores that
+  // generation.  If any member cannot produce it, the whole group restarts
+  // from the initial condition (full recompute).
+  auto snap = store_->read_latest(st.grid, st.gcomm.rank());
+  int my_step = snap.has_value() ? static_cast<int>(snap->step) : -1;
+  int group_step = my_step;
+  int rc = ftmpi::allreduce(&my_step, &group_step, 1, ftmpi::ReduceOp::Min, st.gcomm);
+  if (rc != kSuccess) {
+    ftmpi::comm_revoke(st.gcomm);  // next detection point repairs
+    return;
+  }
+  if (group_step >= 0 && snap.has_value() && snap->step != group_step) {
+    snap = store_->read_at(st.grid, st.gcomm.rank(), group_step);
+  }
+  int have = (group_step >= 0 && snap.has_value() && snap->step == group_step) ? 1 : 0;
+  int all_have = have;
+  rc = ftmpi::allreduce(&have, &all_have, 1, ftmpi::ReduceOp::Min, st.gcomm);
+  if (rc != kSuccess) {
+    ftmpi::comm_revoke(st.gcomm);
+    return;
+  }
+  if (all_have == 1) {
     unpack_interior(snap->data, st.solver->field());
     st.solver->set_steps_done(snap->step);
   } else {
     st.solver->fill_local([this](double x, double y) { return cfg_.problem.initial(x, y); });
     st.solver->set_steps_done(0);
   }
-  const int rc = solve_to(st, target);
-  if (rc != kSuccess) {
+  const int solve_rc = solve_to(st, target);
+  if (solve_rc != kSuccess) {
     FTR_WARN("ft_app: failure during CR recompute (rank %d)", st.wrank);
     ftmpi::comm_revoke(st.gcomm);
   }
@@ -321,6 +397,7 @@ void FtApp::rc_restore(RankState& st, const std::vector<int>& lost) {
     }
     const int p = *partner;
     const Level p_level = layout_.slots[static_cast<size_t>(p)].level;
+    if (!st.solver) continue;  // idle (degraded) ranks take no part
     if (st.grid == p) {
       Grid2D full;
       if (st.solver->gather_full(&full) != kSuccess) continue;
@@ -374,9 +451,11 @@ void FtApp::recovery_and_combine(RankState& st) {
 
   // --- combination ----------------------------------------------------------
   // AC combines around the still-lost grids with GCP coefficients; CR and
-  // RC have restored every grid, so the classic combination applies.
+  // RC have restored every grid, so the classic combination applies.  In
+  // degraded (shrink-mode) runs nothing could be restored, so every
+  // technique combines around its lost grids the AC way.
   std::set<int> lost_now;
-  if (tech == Technique::AlternateCombination) {
+  if (tech == Technique::AlternateCombination || st.degraded) {
     lost_now = st.real_lost_grids;
     for (int id : sim) lost_now.insert(id);
   }
@@ -429,8 +508,12 @@ void FtApp::recovery_and_combine(RankState& st) {
       auto it = rank0_grids.find(gid);
       if (it == rank0_grids.end()) {
         Grid2D g(layout_.slots[static_cast<size_t>(gid)].level);
-        ftmpi::recv(g.data().data(), static_cast<int>(g.data().size()),
-                    layout_.root_rank_of_grid(gid), kTagGridToRoot + gid, st.world);
+        // Degraded worlds are compacted: translate the grid root's original
+        // rank to its shrunken-communicator rank.
+        const int orig_root = layout_.root_rank_of_grid(gid);
+        const int src = st.degraded ? st.dview.new_rank_of(orig_root) : orig_root;
+        ftmpi::recv(g.data().data(), static_cast<int>(g.data().size()), src,
+                    kTagGridToRoot + gid, st.world);
         it = rank0_grids.emplace(gid, std::move(g)).first;
       }
       parts.push_back(ftr::comb::Component{&it->second, coeff});
@@ -442,8 +525,10 @@ void FtApp::recovery_and_combine(RankState& st) {
   }
 
   // AC: recovered data for the lost grids is a sample of the combined
-  // solution; push it back onto the lost groups.
-  if (tech == Technique::AlternateCombination && cfg_.scatter_recovered) {
+  // solution; push it back onto the lost groups.  Degraded runs skip this:
+  // the lost groups are incomplete (their survivors idle), so the recovered
+  // data lives only in the combined solution.
+  if (tech == Technique::AlternateCombination && cfg_.scatter_recovered && !st.degraded) {
     for (int gid : lost_now) {
       const Level lv = layout_.slots[static_cast<size_t>(gid)].level;
       if (st.wrank == 0) {
@@ -499,6 +584,10 @@ void FtApp::recovery_and_combine(RankState& st) {
     rt.put(keys::kRecoveryTime, st.recovery_time);
     rt.put(keys::kCkptWriteTotal, st.ckpt_write_total);
     rt.put(keys::kCkptWrites, static_cast<double>(store_->writes()));
+    rt.put(keys::kReconMode,
+           st.degraded ? 2.0 : (st.repairs > 0 ? 1.0 : 0.0));
+    rt.put(keys::kReconAttempts, static_cast<double>(st.recon_attempts));
+    rt.put(keys::kSurvivors, static_cast<double>(st.world.size()));
   }
 }
 

@@ -61,6 +61,14 @@ inline constexpr const char* kRecoveryTime = "recovery.time";
 inline constexpr const char* kCkptWriteTotal = "ckpt.write_total";
 inline constexpr const char* kCkptWrites = "ckpt.writes";
 inline constexpr const char* kRepairs = "app.repairs";
+/// How the run recovered: 0 = no failure, 1 = full repair (original size and
+/// rank order restored), 2 = shrink-mode degradation (continued on the
+/// shrunken world; see RecoveryMode).
+inline constexpr const char* kReconMode = "recon.mode";
+/// Total repair attempts (retries included) across every reconstruction.
+inline constexpr const char* kReconAttempts = "recon.attempts";
+/// World size the run finished with (== app.procs unless degraded).
+inline constexpr const char* kSurvivors = "app.survivors";
 }  // namespace keys
 
 struct AppConfig {
@@ -116,9 +124,17 @@ class FtApp {
   /// to the next detection point.
   int solve_to(RankState& st, long target);
 
+  /// Record the outcome of one reconstruct() on the rank state (world swap,
+  /// failed-rank bookkeeping incl. degraded-rank translation, rank-0
+  /// metrics).  Returns false when the reconstruction exhausted its budget
+  /// and the run must stop.
+  bool adopt_reconstruction(RankState& st, const ReconstructResult& res);
+
   /// Everything that happens right after a repair: broadcast of the run
   /// state to the (possibly respawned) world, grid-communicator rebuild,
-  /// and per-technique restoration of the lost grids.
+  /// and per-technique restoration of the lost grids.  In degraded mode the
+  /// grids that lost members stay lost (their survivors idle) and recovery
+  /// is deferred to the GCP combination.
   void post_repair(RankState& st, long interval_index, bool is_child);
 
   /// Technique-specific restoration of lost grids (used for both real and

@@ -26,6 +26,30 @@ std::vector<int> Layout::grids_of_ranks(const std::vector<int>& world_ranks) con
   return out;
 }
 
+int DegradedView::new_rank_of(int original_rank) const {
+  const auto it = std::lower_bound(survivors.begin(), survivors.end(), original_rank);
+  if (it == survivors.end() || *it != original_rank) return -1;
+  return static_cast<int>(it - survivors.begin());
+}
+
+bool DegradedView::grid_lost(int grid_id) const {
+  return std::binary_search(lost_grids.begin(), lost_grids.end(), grid_id);
+}
+
+DegradedView build_degraded_view(const Layout& layout, const std::vector<int>& failed_ranks) {
+  DegradedView view;
+  std::vector<bool> dead(static_cast<size_t>(layout.total_procs), false);
+  for (int r : failed_ranks) {
+    if (r >= 0 && r < layout.total_procs) dead[static_cast<size_t>(r)] = true;
+  }
+  view.survivors.reserve(static_cast<size_t>(layout.total_procs));
+  for (int r = 0; r < layout.total_procs; ++r) {
+    if (!dead[static_cast<size_t>(r)]) view.survivors.push_back(r);
+  }
+  view.lost_grids = layout.grids_of_ranks(failed_ranks);
+  return view;
+}
+
 Layout build_layout(const LayoutConfig& cfg) {
   Layout out;
   out.config = cfg;

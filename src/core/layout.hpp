@@ -47,6 +47,33 @@ struct Layout {
   [[nodiscard]] std::vector<int> grids_of_ranks(const std::vector<int>& world_ranks) const;
 };
 
+/// Rank bookkeeping for shrink-mode (degraded) recovery: when replacement
+/// processes cannot be placed, execution continues on the shrunken
+/// communicator.  Survivors keep their *original* world rank for layout
+/// purposes (grid membership, root identities) while collectives and
+/// point-to-point traffic use the compacted ranks of the shrunken
+/// communicator; this view translates between the two.  Shrinking preserves
+/// rank order, so the new rank of a survivor is its index among the
+/// surviving original ranks.
+struct DegradedView {
+  std::vector<int> survivors;   ///< original world ranks still alive, ascending
+  std::vector<int> lost_grids;  ///< grids that lost >= 1 member (sorted, unique)
+
+  /// Compacted (shrunken-communicator) rank of an original world rank, or
+  /// -1 when that rank failed.
+  [[nodiscard]] int new_rank_of(int original_rank) const;
+  /// Original world rank of a compacted rank.
+  [[nodiscard]] int original_rank_of(int new_rank) const {
+    return survivors[static_cast<size_t>(new_rank)];
+  }
+  [[nodiscard]] int num_survivors() const { return static_cast<int>(survivors.size()); }
+  /// A grid is usable in degraded mode only when its whole group survived.
+  [[nodiscard]] bool grid_lost(int grid_id) const;
+};
+
+/// Build the degraded view from the union of failed *original* ranks.
+DegradedView build_degraded_view(const Layout& layout, const std::vector<int>& failed_ranks);
+
 /// Build the layout for a technique; asserts every group fits its grid.
 Layout build_layout(const LayoutConfig& cfg);
 

@@ -1,5 +1,6 @@
 #include "core/reconstruct.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.hpp"
@@ -18,6 +19,37 @@ void mpi_error_handler(MPI_Comm* comm, int* /*error_code*/) {
   OMPI_Comm_failure_ack(*comm);
   MPI_Group failed_group;
   OMPI_Comm_failure_get_acked(*comm, &failed_group);
+}
+
+/// Scope guard for intermediate communicators of one repair pass
+/// (shrunken, temp_intercomm, unorder_intracomm): every early return used
+/// to leak them; now they are freed on all paths unless release()d into
+/// the result.
+class CommGuard {
+ public:
+  explicit CommGuard(MPI_Comm* c) : c_(c) {}
+  ~CommGuard() {
+    if (c_ != nullptr) MPI_Comm_free(c_);
+  }
+  CommGuard(const CommGuard&) = delete;
+  CommGuard& operator=(const CommGuard&) = delete;
+
+  /// Hand the communicator to the caller; the guard stops owning it.
+  MPI_Comm release() {
+    MPI_Comm out = *c_;
+    c_ = nullptr;
+    return out;
+  }
+
+ private:
+  MPI_Comm* c_;
+};
+
+void merge_failed_ranks(std::vector<int>* acc, const std::vector<int>& more) {
+  for (int r : more) {
+    if (std::find(acc->begin(), acc->end(), r) == acc->end()) acc->push_back(r);
+  }
+  std::sort(acc->begin(), acc->end());
 }
 
 }  // namespace
@@ -64,8 +96,8 @@ int Reconstructor::select_rank_key(int merged_rank, int shrunken_size,
   return shrink_merge_list[static_cast<size_t>(merged_rank)];
 }
 
-int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
-  // Fig. 5: repairComm.
+int Reconstructor::repair_once(ftmpi::Comm& broken, ReconstructResult& out) {
+  // Fig. 5: repairComm, one restartable pass.
   const int slots = ftmpi::runtime().slots_per_host();
   double t0 = MPI_Wtime();
   OMPI_Comm_revoke(&broken);
@@ -76,14 +108,15 @@ int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
   int rc = OMPI_Comm_shrink(broken, &shrunken);
   out.timings.shrink += MPI_Wtime() - t0;
   if (rc != MPI_SUCCESS) return rc;
+  CommGuard shrunken_guard(&shrunken);
 
   t0 = MPI_Wtime();
   const std::vector<int> failed_ranks = failed_procs_list(broken, shrunken);
   out.timings.failed_list += MPI_Wtime() - t0;
-  out.failed_ranks = failed_ranks;
+  merge_failed_ranks(&out.failed_ranks, failed_ranks);
   const int total_failed = static_cast<int>(failed_ranks.size());
   if (total_failed == 0) {
-    out.comm = shrunken;  // nothing to repair (spurious detection)
+    out.comm = shrunken_guard.release();  // nothing to repair (spurious detection)
     return MPI_SUCCESS;
   }
   int total_procs = 0;
@@ -109,33 +142,59 @@ int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
   rc = MPI_Comm_spawn_multiple(total_failed, commands, argvs, maxprocs, infos, 0, shrunken,
                                &temp_intercomm, MPI_ERRCODES_IGNORE);
   out.timings.spawn += MPI_Wtime() - t0;
+  for (MPI_Info& info : infos) MPI_Info_free(&info);
+  if (rc == MPI_ERR_SPAWN && cfg_.allow_shrink_fallback) {
+    // Graceful degradation: the cluster has no room for replacements
+    // (kErrSpawn is decided by the spawn root and delivered uniformly), so
+    // recovery continues on the shrunken communicator itself.  The caller
+    // re-derives grid layout and combination coefficients over the
+    // survivors.
+    FTR_WARN("repair: cannot place %d replacements (%s); degrading to shrink-mode recovery "
+             "with %d survivors",
+             total_failed, ftmpi::error_string(rc), shrunken.size());
+    out.mode = RecoveryMode::Degraded;
+    out.comm = shrunken_guard.release();
+    return MPI_SUCCESS;
+  }
   if (rc != MPI_SUCCESS) return rc;
+  CommGuard inter_guard(&temp_intercomm);
 
   // Synchronize with the children over the intercommunicator (parent part).
-  // Note: agree precedes merge on both sides (see header).
+  // Note: agree precedes merge on both sides (see header).  The agreement
+  // also *validates* the spawn: if any parent or child died between spawn
+  // and here, every participant observes the same failure and restarts
+  // from revoke (parents) or aborts (children).
   t0 = MPI_Wtime();
   int flag = 1;
-  OMPI_Comm_agree(temp_intercomm, &flag);
+  rc = OMPI_Comm_agree(temp_intercomm, &flag);
   out.timings.agree += MPI_Wtime() - t0;
+  if (rc != MPI_SUCCESS) return rc;
 
   t0 = MPI_Wtime();
   MPI_Comm unorder_intracomm;
   rc = MPI_Intercomm_merge(temp_intercomm, /*high=*/0, &unorder_intracomm);
   out.timings.merge += MPI_Wtime() - t0;
   if (rc != MPI_SUCCESS) return rc;
+  CommGuard merged_guard(&unorder_intracomm);
 
   int shrunken_size = 0;
   MPI_Comm_size(shrunken, &shrunken_size);
   int new_rank = 0;
   MPI_Comm_rank(unorder_intracomm, &new_rank);
 
-  // Rank 0 ships each child its old (failed) rank.
+  // Rank 0 ships each child its old (failed) rank.  A failed send means the
+  // child just died; do NOT return early — the peers are already headed
+  // into the ordered split, which detects the death uniformly and sends
+  // everyone back to revoke together.
   if (new_rank == 0) {
     for (int i = 0; i < total_failed; ++i) {
       const int child = shrunken_size + i;
       rc = MPI_Send(&failed_ranks[static_cast<size_t>(i)], 1, MPI_INT, child, kMergeTag,
                     unorder_intracomm);
-      if (rc != MPI_SUCCESS) return rc;
+      if (rc != MPI_SUCCESS) {
+        FTR_WARN("repair: old-rank send to child %d failed (%s); split will detect it",
+                 child, ftmpi::error_string(rc));
+      }
     }
   }
 
@@ -147,7 +206,28 @@ int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
   out.timings.split += MPI_Wtime() - t0;
   if (rc != MPI_SUCCESS) return rc;
   out.comm = repaired;
+  if (out.mode != RecoveryMode::Degraded) out.mode = RecoveryMode::Repaired;
   return MPI_SUCCESS;
+}
+
+int Reconstructor::repair(ftmpi::Comm& broken, ReconstructResult& out) {
+  // Bounded retry around repair_once: every failure mode of the pass is
+  // observed uniformly by all survivors (see ARCHITECTURE.md), so they
+  // restart from revoke in lockstep.  The backoff is charged to virtual
+  // time, mirroring a real implementation yielding before re-probing.
+  double backoff = cfg_.backoff_base;
+  int rc = MPI_ERR_PROC_FAILED;
+  for (int attempt = 1; attempt <= cfg_.max_repair_attempts; ++attempt) {
+    ++out.attempts;
+    rc = repair_once(broken, out);
+    if (rc == MPI_SUCCESS) return rc;
+    FTR_WARN("repair: attempt %d/%d failed (%s); restarting from revoke after %.2e s",
+             attempt, cfg_.max_repair_attempts, ftmpi::error_string(rc), backoff);
+    ftmpi::advance(backoff);
+    backoff *= cfg_.backoff_factor;
+  }
+  out.exhausted = true;
+  return rc;
 }
 
 ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
@@ -180,34 +260,62 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
         // barrier + the error-handler acks — plus the group-difference
         // bookkeeping added by repair() below.
         out.timings.failed_list += MPI_Wtime() - t_detect;
-        MPI_Comm repaired;
         const int rc = repair(reconstructed, out);
-        repaired = out.comm;
         if (rc == MPI_SUCCESS) {
-          reconstructed = repaired;
+          MPI_Comm_free(&reconstructed);  // drop the broken handle
+          reconstructed = out.comm;
           out.repaired = true;
         } else {
-          FTR_ERROR("reconstruct: repair failed with code %d", rc);
+          FTR_ERROR("reconstruct: repair failed after %d attempts: %s", out.attempts,
+                    ftmpi::error_string(rc));
+          out.exhausted = true;
+          break;  // give up; the caller inspects `exhausted`
         }
         failure = true;
       }
     } else {
-      // Child path: a freshly spawned replacement process.
+      // Child path: a freshly spawned replacement process.  Any protocol
+      // failure here means the repair pass we belong to is being abandoned
+      // (the parents observe the same failure and restart from revoke, which
+      // respawns us) — an orphaned child simply aborts.
       MPI_Comm_set_errhandler(parent, new_err_hand);
       int flag = 1;
-      OMPI_Comm_agree(parent, &flag);  // synchronize (child part)
+      return_value = OMPI_Comm_agree(parent, &flag);  // synchronize (child part)
+      if (return_value != MPI_SUCCESS) {
+        FTR_WARN("reconstruct(child): intercomm agree failed (%s); aborting orphan",
+                 ftmpi::error_string(return_value));
+        ftmpi::abort_self();
+      }
 
       MPI_Comm unorder_intracomm;
-      MPI_Intercomm_merge(parent, /*high=*/1, &unorder_intracomm);
+      return_value = MPI_Intercomm_merge(parent, /*high=*/1, &unorder_intracomm);
+      if (return_value != MPI_SUCCESS) {
+        FTR_WARN("reconstruct(child): merge failed (%s); aborting orphan",
+                 ftmpi::error_string(return_value));
+        ftmpi::abort_self();
+      }
 
       int old_rank = -1;
       MPI_Status status;
-      MPI_Recv(&old_rank, 1, MPI_INT, 0, kMergeTag, unorder_intracomm, &status);
+      return_value =
+          MPI_Recv(&old_rank, 1, MPI_INT, 0, kMergeTag, unorder_intracomm, &status);
+      if (return_value != MPI_SUCCESS) {
+        FTR_WARN("reconstruct(child): old-rank recv failed (%s); aborting orphan",
+                 ftmpi::error_string(return_value));
+        ftmpi::abort_self();
+      }
 
       MPI_Comm temp_intracomm;
-      MPI_Comm_split(unorder_intracomm, 0, old_rank, &temp_intracomm);
+      return_value = MPI_Comm_split(unorder_intracomm, 0, old_rank, &temp_intracomm);
+      MPI_Comm_free(&unorder_intracomm);
+      if (return_value != MPI_SUCCESS) {
+        FTR_WARN("reconstruct(child): ordered split failed (%s); aborting orphan",
+                 ftmpi::error_string(return_value));
+        ftmpi::abort_self();
+      }
       reconstructed = temp_intracomm;
       out.repaired = true;
+      if (out.mode == RecoveryMode::None) out.mode = RecoveryMode::Repaired;
 
       // Become a parent: next iteration verifies the repaired communicator.
       parent = MPI_COMM_NULL;
@@ -215,6 +323,12 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
       failure = true;
     }
     ++iter_counter;
+    if (failure && iter_counter >= cfg_.max_reconstruct_iterations) {
+      FTR_ERROR("reconstruct: iteration budget exhausted (%d); giving up",
+                cfg_.max_reconstruct_iterations);
+      out.exhausted = true;
+      break;
+    }
   } while (failure);
 
   out.comm = reconstructed;

@@ -24,6 +24,17 @@
 // against each other, so both sides here agree before merging.  See
 // DESIGN.md.
 //
+// Cascading failures — a process dying *during* the repair itself — are
+// handled by making repair() re-entrant: any protocol step that fails
+// (observed uniformly by all survivors, see docs/ARCHITECTURE.md, "Failure
+// model and recovery state machine") sends the survivors back to revoke
+// with an exponential virtual-time backoff, up to a bounded retry budget.
+// Respawned children whose bring-up protocol fails simply abort; the next
+// repair attempt respawns them.  When replacements cannot be *placed* at
+// all (bounded cluster, kErrSpawn), repair degrades to shrink-mode
+// recovery: the shrunken communicator itself becomes the result and the
+// caller recomputes its layout over the survivors.
+//
 // Every ULFM primitive is timed (virtual clocks), which is what the Fig. 8
 // and Table I benches report.
 
@@ -49,11 +60,27 @@ struct ReconstructTimings {
   double split = 0;         ///< ordered MPI_Comm_split
 };
 
+/// How a reconstruction concluded.
+enum class RecoveryMode {
+  None,      ///< no failure was detected
+  Repaired,  ///< full repair: original size and rank order restored
+  /// Replacements could not be placed; execution continues on the shrunken
+  /// communicator and the caller re-derives its layout over the survivors.
+  Degraded,
+};
+
 struct ReconstructResult {
-  ftmpi::Comm comm;              ///< the repaired communicator
+  ftmpi::Comm comm;              ///< the repaired (or degraded) communicator
   bool repaired = false;         ///< false when no failure was detected
+  RecoveryMode mode = RecoveryMode::None;
   int iterations = 0;            ///< Fig. 3 do-while iterations
-  std::vector<int> failed_ranks; ///< ranks replaced in the last repair
+  int attempts = 0;              ///< repair attempts, all iterations combined
+  /// True when the retry or iteration budget ran out before a verified
+  /// communicator was produced; `comm` is then not usable.
+  bool exhausted = false;
+  /// Union of the original ranks replaced (or lost, in degraded mode)
+  /// across every repair of this reconstruction.
+  std::vector<int> failed_ranks;
   ReconstructTimings timings;
 };
 
@@ -65,6 +92,22 @@ class Reconstructor {
     std::string app_name;
     /// argv passed to respawned processes (the paper forwards argv).
     std::vector<std::string> argv;
+    /// Retry budget of repair(): how many times one failure detection may
+    /// restart from revoke when the repair itself is hit by further
+    /// failures.
+    int max_repair_attempts = 10;
+    /// Virtual-time backoff before the second repair attempt; multiplied by
+    /// `backoff_factor` after each further attempt.  Identical on every
+    /// survivor, so the backoff keeps their virtual clocks in step.
+    double backoff_base = 1e-4;
+    double backoff_factor = 2.0;
+    /// Bound on the Fig. 3 do-while: each verified-then-failed-again
+    /// communicator consumes one iteration.
+    int max_reconstruct_iterations = 32;
+    /// Fall back to shrink-mode recovery when replacements cannot be
+    /// placed (kErrSpawn).  When false, kErrSpawn consumes retry attempts
+    /// like any other failure and eventually exhausts the budget.
+    bool allow_shrink_fallback = true;
   };
 
   explicit Reconstructor(Config cfg) : cfg_(std::move(cfg)) {}
@@ -73,7 +116,7 @@ class Reconstructor {
   /// their current world when a failure is suspected (or to probe);
   /// children (respawned processes) call it with a null comm immediately
   /// after startup.  Loops until a barrier over the reconstructed
-  /// communicator succeeds.
+  /// communicator succeeds, up to Config::max_reconstruct_iterations.
   ReconstructResult reconstruct(ftmpi::Comm my_world);
 
   /// The paper's failedProcsList (Fig. 6): identify failed ranks by group
@@ -87,9 +130,14 @@ class Reconstructor {
                              const std::vector<int>& failed_ranks, int total_procs);
 
  private:
-  /// The paper's repairComm (Fig. 5).  Returns the repaired communicator
-  /// through `out`; fills timings and the failed-rank list.
+  /// The paper's repairComm (Fig. 5) wrapped in the bounded retry loop:
+  /// calls repair_once() until it succeeds (possibly degraded) or
+  /// Config::max_repair_attempts is spent, backing off between attempts.
   int repair(ftmpi::Comm& broken, ReconstructResult& out);
+  /// One pass of Fig. 5, restartable: revoke -> shrink -> spawn -> agree ->
+  /// merge -> split.  Intermediate communicators and Info objects are
+  /// released on every exit path.
+  int repair_once(ftmpi::Comm& broken, ReconstructResult& out);
 
   Config cfg_;
 };

@@ -74,6 +74,14 @@ ProcId self_pid();
 /// The Runtime the calling rank thread belongs to.
 Runtime& runtime();
 
+/// Named protocol phase boundary for chaos injection.  Invokes the
+/// Runtime's chaos hook (if any) with the phase name and the calling pid,
+/// then re-checks liveness so a hook that kills the caller unwinds it right
+/// at the boundary.  No-op off rank threads and when no hook is installed.
+/// Phases fired by the runtime: "shrink", "agree", "spawn", "spawn.done",
+/// "merge", "split"; the checkpoint store fires "ckpt.write".
+void chaos_point(const char* phase);
+
 // --- error handling -----------------------------------------------------------
 
 /// Attach an error handler (MPI_Comm_set_errhandler with a user handler

@@ -33,6 +33,7 @@ struct SplitReply {
 
 int comm_split(const Comm& c, int color, int key, Comm* out) {
   detail::check_alive();
+  chaos_point("split");
   *out = Comm{};
   if (c.is_null() || c.is_inter()) return kErrComm;
   if (c.is_revoked()) return finish(c, kErrRevoked);
@@ -130,6 +131,7 @@ const char* error_string(int code) {
     case kErrProcFailed: return "MPI_ERR_PROC_FAILED: a peer process has failed";
     case kErrRevoked: return "MPI_ERR_REVOKED: the communicator has been revoked";
     case kErrPending: return "MPI_ERR_PENDING";
+    case kErrSpawn: return "MPI_ERR_SPAWN: replacement processes could not be placed";
     case kErrOther: return "MPI_ERR_OTHER";
   }
   return "unknown error code";

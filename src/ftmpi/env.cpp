@@ -36,11 +36,15 @@ void advance(double seconds) { detail::charge(seconds); }
 void charge_flops(double flops) { detail::charge(flops / detail::rt().cost().flops_rate); }
 
 void charge_disk_write(std::size_t bytes) {
+  // No-op off rank threads so shared stores (checkpoints) stay usable from
+  // plain test code; there is no virtual clock to charge there anyway.
+  if (Runtime::current() == nullptr) return;
   const CostModel& cm = detail::rt().cost();
   detail::charge(cm.disk_write_latency + static_cast<double>(bytes) / cm.disk_bandwidth);
 }
 
 void charge_disk_read(std::size_t bytes) {
+  if (Runtime::current() == nullptr) return;
   const CostModel& cm = detail::rt().cost();
   detail::charge(cm.disk_read_latency + static_cast<double>(bytes) / cm.disk_bandwidth);
 }
@@ -54,5 +58,12 @@ void abort_self() {
 ProcId self_pid() { return detail::self().pid; }
 
 Runtime& runtime() { return detail::rt(); }
+
+void chaos_point(const char* phase) {
+  ProcessState* ps = Runtime::current();
+  if (ps == nullptr || !ps->rt->has_chaos_hook()) return;
+  ps->rt->fire_chaos(phase, ps->pid);
+  detail::check_alive();
+}
 
 }  // namespace ftmpi

@@ -33,6 +33,7 @@ inline constexpr int MPI_ERR_COMM = ::ftmpi::kErrComm;
 inline constexpr int MPI_ERR_ARG = ::ftmpi::kErrArg;
 inline constexpr int MPI_ERR_PROC_FAILED = ::ftmpi::kErrProcFailed;
 inline constexpr int MPI_ERR_REVOKED = ::ftmpi::kErrRevoked;
+inline constexpr int MPI_ERR_SPAWN = ::ftmpi::kErrSpawn;
 
 // Wildcards and misc constants.
 inline constexpr int MPI_ANY_SOURCE = ::ftmpi::kAnySource;
@@ -297,6 +298,14 @@ inline int MPI_Info_create(MPI_Info* info) {
 
 inline int MPI_Info_set_host(MPI_Info* info, int host_index) {
   info->host = host_index;
+  return MPI_SUCCESS;
+}
+
+/// MPI_Info_free: resets the handle.  The simulated Info carries no real
+/// resource, but protocol code frees every Info it creates (as real MPI
+/// requires) so the compat surface keeps the call.
+inline int MPI_Info_free(MPI_Info* info) {
+  *info = MPI_Info{.host = -1};
   return MPI_SUCCESS;
 }
 

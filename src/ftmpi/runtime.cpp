@@ -41,11 +41,19 @@ void Runtime::register_app(const std::string& name, EntryFn entry) {
 }
 
 std::pair<int, int> Runtime::allocate_slot_locked(int preferred_host) {
-  auto grow_to = [this](int h) {
+  // With a bounded cluster (max_hosts > 0), growth stops at the bound and
+  // the allocation can fail ({-1, -1}) — the substrate of spawn placement
+  // failure and the shrink-mode recovery fallback.
+  auto can_grow_to = [this](int h) {
+    return opt_.max_hosts <= 0 || h < opt_.max_hosts;
+  };
+  auto grow_to = [this, &can_grow_to](int h) {
+    if (!can_grow_to(h)) return false;
     while (static_cast<size_t>(h) >= hosts_.size()) {
       hosts_.emplace_back(static_cast<size_t>(opt_.slots_per_host), false);
       host_failed_.push_back(false);
     }
+    return true;
   };
   auto find_free = [this](int h) -> int {
     if (host_failed_[static_cast<size_t>(h)]) return -1;
@@ -54,8 +62,7 @@ std::pair<int, int> Runtime::allocate_slot_locked(int preferred_host) {
     }
     return -1;
   };
-  if (preferred_host >= 0) {
-    grow_to(preferred_host);
+  if (preferred_host >= 0 && grow_to(preferred_host)) {
     // A failed node's placement requests are redirected to one consistent
     // spare host, so all of its replacements come up co-located (the
     // paper's future-work node-failure scenario).
@@ -63,22 +70,24 @@ std::pair<int, int> Runtime::allocate_slot_locked(int preferred_host) {
       const auto it = host_substitute_.find(preferred_host);
       if (it != host_substitute_.end()) {
         preferred_host = it->second;
-      } else {
-        const int spare = static_cast<int>(hosts_.size());
-        grow_to(spare);
+      } else if (const int spare = static_cast<int>(hosts_.size()); grow_to(spare)) {
         host_substitute_[preferred_host] = spare;
         FTR_INFO("ftmpi: failed host %d substituted by spare host %d", preferred_host,
                  spare);
         preferred_host = spare;
+      } else {
+        preferred_host = -1;  // cluster bounded and full of failed/occupied hosts
       }
-      grow_to(preferred_host);
     }
-    const int s = find_free(preferred_host);
-    if (s >= 0) {
-      hosts_[static_cast<size_t>(preferred_host)][static_cast<size_t>(s)] = true;
-      return {preferred_host, s};
+    if (preferred_host >= 0) {
+      const int s = find_free(preferred_host);
+      if (s >= 0) {
+        hosts_[static_cast<size_t>(preferred_host)][static_cast<size_t>(s)] = true;
+        return {preferred_host, s};
+      }
+      FTR_WARN("ftmpi: preferred host %d full; falling back to first free slot",
+               preferred_host);
     }
-    FTR_WARN("ftmpi: preferred host %d full; falling back to first free slot", preferred_host);
   }
   for (size_t h = 0; h < hosts_.size(); ++h) {
     const int s = find_free(static_cast<int>(h));
@@ -87,8 +96,11 @@ std::pair<int, int> Runtime::allocate_slot_locked(int preferred_host) {
       return {static_cast<int>(h), s};
     }
   }
-  hosts_.emplace_back(static_cast<size_t>(opt_.slots_per_host), false);
-  host_failed_.push_back(false);
+  if (!grow_to(static_cast<int>(hosts_.size()))) {
+    FTR_WARN("ftmpi: cluster exhausted (%zu hosts, max %d); placement failed",
+             hosts_.size(), opt_.max_hosts);
+    return {-1, -1};
+  }
   hosts_.back()[0] = true;
   return {static_cast<int>(hosts_.size()) - 1, 0};
 }
@@ -128,17 +140,28 @@ std::vector<ProcId> Runtime::procs_on_host(int host) const {
 ProcId Runtime::create_process(const std::string& app, std::vector<std::string> argv,
                                int preferred_host, double start_clock) {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto [host, slot] = allocate_slot_locked(preferred_host);
+  if (host < 0) return kNullProc;
   auto ps = std::make_unique<ProcessState>();
   ps->rt = this;
   ps->pid = static_cast<ProcId>(procs_.size());
   ps->app = app;
   ps->argv = std::move(argv);
   ps->vclock = start_clock;
-  const auto [host, slot] = allocate_slot_locked(preferred_host);
   ps->host = host;
   ps->slot = slot;
   procs_.push_back(std::move(ps));
   return procs_.back()->pid;
+}
+
+void Runtime::release_unstarted(ProcId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pid < 0 || static_cast<size_t>(pid) >= procs_.size()) return;
+  ProcessState& ps = *procs_[static_cast<size_t>(pid)];
+  if (ps.thread.joinable() || ps.finished.load()) return;  // already started
+  ps.dead.store(true);
+  ps.finished.store(true);
+  hosts_[static_cast<size_t>(ps.host)][static_cast<size_t>(ps.slot)] = false;
 }
 
 void Runtime::start_process(ProcId pid) {

@@ -86,6 +86,11 @@ class Runtime {
     /// Real-time watchdog for Runtime::run(); a stuck protocol aborts with
     /// a state dump rather than hanging a test run forever.
     double real_time_limit_sec = 300.0;
+    /// Maximum number of hosts in the simulated cluster (0 = unbounded, the
+    /// historical behaviour).  With a bound, process placement can genuinely
+    /// fail — comm_spawn_multiple returns kErrSpawn — which is what forces
+    /// the shrink-mode recovery fallback.
+    int max_hosts = 0;
   };
 
   /// Entry point of a simulated MPI application; runs on each rank thread.
@@ -154,12 +159,30 @@ class Runtime {
 
   // --- process management (used by the spawn protocol) ---------------------
   /// Create a not-yet-started process placed on `preferred_host` (or the
-  /// first host with a free slot).  Returns its pid.
+  /// first host with a free slot).  Returns its pid, or kNullProc when the
+  /// cluster is bounded (Options::max_hosts) and no slot is available.
   ProcId create_process(const std::string& app, std::vector<std::string> argv,
                         int preferred_host, double start_clock);
   /// Start the thread of a process created by create_process() after its
   /// world/parent contexts have been filled in.
   void start_process(ProcId pid);
+  /// Retire a created-but-never-started process (spawn rollback after a
+  /// partial placement failure): frees its slot without counting it as a
+  /// failure.
+  void release_unstarted(ProcId pid);
+
+  // --- chaos injection ------------------------------------------------------
+  /// Hook invoked by chaos_point() at named protocol phase boundaries
+  /// (shrink/spawn/merge/agree/split entry, checkpoint writes).  The hook
+  /// may kill the calling process — chaos_point() re-checks liveness after
+  /// the hook returns, so a self-kill unwinds at the phase boundary.
+  /// Install before run(); not synchronized against running rank threads.
+  using ChaosHook = std::function<void(const char* phase, ProcId pid)>;
+  void set_chaos_hook(ChaosHook hook) { chaos_hook_ = std::move(hook); }
+  void fire_chaos(const char* phase, ProcId pid) {
+    if (chaos_hook_) chaos_hook_(phase, pid);
+  }
+  [[nodiscard]] bool has_chaos_hook() const { return static_cast<bool>(chaos_hook_); }
 
   [[nodiscard]] ProcessState& proc(ProcId pid);
   [[nodiscard]] const ProcessState& proc(ProcId pid) const;
@@ -212,6 +235,8 @@ class Runtime {
 
   mutable std::mutex results_mu_;
   std::map<std::string, double> results_;
+
+  ChaosHook chaos_hook_;
 
   Trace trace_;
 };

@@ -23,6 +23,7 @@ struct SpawnReply {
 int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Comm& c,
                         Comm* intercomm, std::vector<int>* errcodes) {
   detail::check_alive();
+  chaos_point("spawn");
   *intercomm = Comm{};
   if (c.is_null() || c.is_inter()) return kErrComm;
   if (root < 0 || root >= c.size()) return finish(c, kErrArg);
@@ -48,13 +49,34 @@ int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Com
     detail::charge_coordinator_rounds(cm.spawn_handshake_rounds * std::max(total, 1),
                                       g.size());
 
-    // Create the children (threads not yet started).
+    // Create the children (threads not yet started).  If the cluster cannot
+    // place every requested process, roll back the partial batch and report
+    // kErrSpawn uniformly: every member learns through the reply below that
+    // no replacement exists, which is what triggers shrink-mode recovery.
     Group children;
+    bool placement_failed = false;
     for (const auto& u : units) {
       for (int i = 0; i < u.maxprocs; ++i) {
         const ProcId pid = r.create_process(u.command, u.argv, u.host, 0.0);
+        if (pid == kNullProc) {
+          placement_failed = true;
+          break;
+        }
         children.pids.push_back(pid);
       }
+      if (placement_failed) break;
+    }
+    if (placement_failed) {
+      for (ProcId pid : children.pids) r.release_unstarted(pid);
+      FTR_WARN("ftmpi: spawn of %d replacements failed: cluster exhausted", total);
+      const SpawnReply reply{kErrSpawn, 0};
+      for (int rr = 0; rr < g.size(); ++rr) {
+        if (rr == root) continue;
+        detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
+                          sizeof(reply));
+      }
+      if (errcodes != nullptr) errcodes->assign(units.size(), kErrSpawn);
+      return finish(c, kErrSpawn);
     }
     const auto child_world = r.create_context(children);
     const auto inter = r.create_context(g, children, /*inter=*/true);
@@ -69,17 +91,22 @@ int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Com
     r.trace().record(me.vclock, me.pid, TraceEvent::Spawn, children.size());
 
     SpawnReply reply{kSuccess, inter->id};
-    int outcome = kSuccess;
     for (int rr = 0; rr < g.size(); ++rr) {
       if (rr == root) continue;
-      if (detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
-                            sizeof(reply)) != kSuccess) {
-        outcome = kErrProcFailed;
-      }
+      // A failed reply send means that member just died.  Do NOT return an
+      // error from the root alone: the other members received a success
+      // reply and are already headed into the validation agree on the
+      // intercommunicator, which the root also joins — that is where the
+      // death is observed *uniformly* by every parent and child.  Bailing
+      // out here would leave the peers (and the children) agreeing with a
+      // coordinator that already went back to revoke.
+      detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
+                        sizeof(reply));
     }
     if (errcodes != nullptr) errcodes->assign(units.size(), kSuccess);
     *intercomm = Comm(inter, 0, me.pid);
-    return finish(c, outcome);
+    chaos_point("spawn.done");
+    return finish(c, kSuccess);
   }
 
   std::vector<std::byte> payload;
@@ -89,13 +116,17 @@ int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Com
                                    &payload, opts);
   if (rc != kSuccess) return finish(c, rc == kErrRevoked ? rc : kErrProcFailed);
   const auto reply = detail::unpack<SpawnReply>(payload);
-  if (errcodes != nullptr) errcodes->assign(units.size(), kSuccess);
-  *intercomm = Comm(r.find_context(reply.inter_ctx), 0, me.pid);
+  if (errcodes != nullptr) errcodes->assign(units.size(), reply.outcome);
+  if (reply.inter_ctx != 0) {
+    *intercomm = Comm(r.find_context(reply.inter_ctx), 0, me.pid);
+  }
+  chaos_point("spawn.done");
   return finish(c, reply.outcome);
 }
 
 int intercomm_merge(const Comm& inter, bool high, Comm* out) {
   detail::check_alive();
+  chaos_point("merge");
   *out = Comm{};
   if (inter.is_null() || !inter.is_inter()) return kErrComm;
 
@@ -107,6 +138,22 @@ int intercomm_merge(const Comm& inter, bool high, Comm* out) {
   const ProcId local_leader = local.pids[0];
   const ProcId remote_leader = remote.pids[0];
 
+  // Cascading-failure hardening: a leader that fails mid-protocol announces
+  // the failure (merged_id = 0) to every non-leader of BOTH groups.
+  // Non-leaders wait on whichever leader speaks first; without the
+  // announcement, a peer's death observed only by one leader would leave
+  // the other side blocked on a live process that already returned.
+  auto announce_failure = [&] {
+    const std::uint64_t none = 0;
+    for (const Group* grp : {&local, &remote}) {
+      for (ProcId p : grp->pids) {
+        if (p == me.pid || p == local_leader || p == remote_leader) continue;
+        detail::ctrl_send(p, id, tags::kMergeInfo, &none, sizeof(none));
+      }
+    }
+    return finish(inter, kErrProcFailed);
+  };
+
   std::uint64_t merged_id = 0;
   if (inter.rank() == 0) {
     // Leaders exchange their `high` flags to decide the order of the merged
@@ -114,11 +161,11 @@ int intercomm_merge(const Comm& inter, bool high, Comm* out) {
     const int my_flag = high ? 1 : 0;
     if (detail::ctrl_send(remote_leader, id, tags::kMergeCross, &my_flag, sizeof(my_flag)) !=
         kSuccess) {
-      return finish(inter, kErrProcFailed);
+      return announce_failure();
     }
     std::vector<std::byte> payload;
     if (detail::ctrl_recv(remote_leader, id, tags::kMergeCross, &payload) != kSuccess) {
-      return finish(inter, kErrProcFailed);
+      return announce_failure();
     }
     const int remote_flag = detail::unpack<int>(payload);
     bool i_am_low;
@@ -141,19 +188,21 @@ int intercomm_merge(const Comm& inter, bool high, Comm* out) {
     } else {
       std::vector<std::byte> info;
       if (detail::ctrl_recv(remote_leader, id, tags::kMergeInfo, &info) != kSuccess) {
-        return finish(inter, kErrProcFailed);
+        return announce_failure();
       }
       merged_id = detail::unpack<std::uint64_t>(info);
+      if (merged_id == 0) return finish(inter, kErrProcFailed);
     }
   } else {
     // Non-leaders: the merged-context announcement comes from whichever
-    // side's leader ended up low.
+    // side's leader ended up low (or a failure notice from either leader).
     std::vector<std::byte> info;
     if (detail::ctrl_recv_any({local_leader, remote_leader}, id, tags::kMergeInfo, &info,
                               nullptr) != kSuccess) {
       return finish(inter, kErrProcFailed);
     }
     merged_id = detail::unpack<std::uint64_t>(info);
+    if (merged_id == 0) return finish(inter, kErrProcFailed);
   }
 
   *out = Comm(r.find_context(merged_id), 0, me.pid);

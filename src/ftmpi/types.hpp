@@ -26,6 +26,7 @@ enum ErrCode : int {
   kErrProcFailed = 75, // a peer process has failed (MPI_ERR_PROC_FAILED)
   kErrRevoked = 76,    // the communicator has been revoked (MPI_ERR_REVOKED)
   kErrPending = 77,
+  kErrSpawn = 78,      // replacement processes could not be placed (MPI_ERR_SPAWN)
   kErrOther = 15,
 };
 

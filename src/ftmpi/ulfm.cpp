@@ -83,6 +83,7 @@ std::vector<int> live_ranks(const Group& g) {
 
 int comm_shrink(const Comm& c, Comm* out) {
   detail::check_alive();
+  chaos_point("shrink");
   *out = Comm{};
   if (c.is_null() || c.is_inter()) return kErrComm;
 
@@ -144,6 +145,7 @@ int comm_shrink(const Comm& c, Comm* out) {
 
 int comm_agree(const Comm& c, int* flag) {
   detail::check_alive();
+  chaos_point("agree");
   if (c.is_null()) return kErrComm;
 
   const std::uint64_t id = c.context()->id;
