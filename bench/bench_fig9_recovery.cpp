@@ -12,6 +12,12 @@
 // consume.  Expected shape: CR worst / AC best on the OPL profile
 // (T_IO = 3.52 s); CR best on the Raijin profile (T_IO = 0.03 s); recovery
 // time nearly independent of the number of lost grids.
+//
+// The BU column is the diskless buddy-checkpoint extension: the CR
+// arrangement with no disk checkpoints, lost grids restored from in-memory
+// buddy snapshots by the recovery planner.  Raw BU is the restore +
+// recompute time; BU' adds the replication overhead (the snapshots stand in
+// for CR's C*T_IO write cost, with no extra processes).
 
 #include "bench_common.hpp"
 #include "combination/coefficients.hpp"
@@ -62,7 +68,56 @@ struct Measured {
   double app_time = 0;   // total application time
   long ckpt_count = 0;
   double t_io = 0;
+  double repl_time = 0;  // buddy replication overhead (rank 0's ticks)
 };
+
+/// Losses for the diskless-buddy column: prefer diagonal grids, which have
+/// no replication partner in the CR arrangement, so the planner restores
+/// them from buddy snapshots.  Overflow (lost > #diagonals) spills onto
+/// lower diagonals, where the planner's cheaper resampling rung takes over.
+FailurePlan buddy_losses(const Layout& layout, int count, ftr::Xoshiro256& rng) {
+  std::vector<int> diag, lower;
+  for (const auto& slot : layout.slots) {
+    if (slot.role == comb::GridRole::Diagonal) diag.push_back(slot.id);
+    if (slot.role == comb::GridRole::LowerDiagonal) lower.push_back(slot.id);
+  }
+  FailurePlan plan;
+  for (auto* pool : {&diag, &lower}) {
+    while (static_cast<int>(plan.simulated_lost_grids.size()) < count && !pool->empty()) {
+      const size_t idx = rng.bounded(pool->size());
+      plan.simulated_lost_grids.push_back((*pool)[idx]);
+      pool->erase(pool->begin() + static_cast<long>(idx));
+    }
+  }
+  std::sort(plan.simulated_lost_grids.begin(), plan.simulated_lost_grids.end());
+  return plan;
+}
+
+/// Buddy-checkpoint run: the CR arrangement with no disk checkpoints at
+/// all — the planner restores lost grids from in-memory buddy snapshots
+/// (replicated every timesteps/8 steps) and recomputes forward.
+Measured run_buddy(const BenchEnv& env, int lost, ftr::Xoshiro256& rng) {
+  AppConfig cfg;
+  cfg.layout = paper_layout(env, Technique::CheckpointRestart);
+  cfg.timesteps = env.timesteps;
+  cfg.checkpoints = 0;
+  cfg.recovery = RecoveryPolicy::Planner;
+  cfg.buddy_every = std::max<long>(env.timesteps / 8, 1);
+  const Layout layout = build_layout(cfg.layout);
+  if (lost > 0) cfg.failures = buddy_losses(layout, lost, rng);
+
+  auto opts = env.runtime_options();
+  opts.cost.cell_update_rate = kBenchCellRate / 25.0;
+  ftmpi::Runtime rt(opts);
+  FtApp app(cfg);
+  app.launch(rt);
+
+  Measured m;
+  m.app_time = rt.get(keys::kTotalTime, 0);
+  m.raw = rt.get(keys::kRecoveryTime, 0);
+  m.repl_time = rt.get(keys::kBuddyReplTime, 0);
+  return m;
+}
 
 Measured run_once(const BenchEnv& env, Technique t, int lost, long checkpoints,
                   ftr::Xoshiro256& rng) {
@@ -132,28 +187,33 @@ int main(int argc, char** argv) {
     const int pa =
         build_layout(paper_layout(env, Technique::AlternateCombination)).total_procs;
 
-    Table raw({"lost_grids", "CR(s)", "RC(s)", "AC(s)"});
-    Table norm({"lost_grids", "CR'(s)", "RC'(s)", "AC'(s)"});
+    Table raw({"lost_grids", "CR(s)", "RC(s)", "AC(s)", "BU(s)"});
+    Table norm({"lost_grids", "CR'(s)", "RC'(s)", "AC'(s)", "BU'(s)"});
     for (int lost = 1; lost <= max_lost; ++lost) {
-      std::vector<double> cr, rc, ac, crn, rcn, acn;
+      std::vector<double> cr, rc, ac, bu, crn, rcn, acn, bun;
       for (int rep = 0; rep < env.reps; ++rep) {
         const Measured mc = run_once(env, Technique::CheckpointRestart, lost, checkpoints, rng);
         const Measured mr = run_once(env, Technique::ResamplingCopying, lost, checkpoints, rng);
         const Measured ma =
             run_once(env, Technique::AlternateCombination, lost, checkpoints, rng);
+        const Measured mb = run_buddy(env, lost, rng);
         cr.push_back(mc.raw);
         rc.push_back(mr.raw);
         ac.push_back(ma.raw);
+        bu.push_back(mb.raw);
         // Raw CR already contains C*T_IO (the measured writes), matching
         // T'rec,c = C*T_IO + T_rec,c.
         crn.push_back(mc.raw);
         rcn.push_back(ProcessTimeOverhead::rc(mr.raw, mr.app_time, pr, pc));
         acn.push_back(ProcessTimeOverhead::ac(ma.raw, ma.app_time, pa, pc));
+        // Buddy's analog of C*T_IO is its replication overhead: the memory
+        // snapshots replace the disk writes, and the process count is Pc.
+        bun.push_back(mb.raw + mb.repl_time);
       }
       raw.add_row({Table::num(static_cast<long>(lost)), Table::num(mean(cr)),
-                   Table::num(mean(rc)), Table::num(mean(ac))});
+                   Table::num(mean(rc)), Table::num(mean(ac)), Table::num(mean(bu))});
       norm.add_row({Table::num(static_cast<long>(lost)), Table::num(mean(crn)),
-                    Table::num(mean(rcn)), Table::num(mean(acn))});
+                    Table::num(mean(rcn)), Table::num(mean(acn)), Table::num(mean(bun))});
     }
     std::cout << "\n[profile " << env.profile.name << ": T_IO = "
               << env.profile.cost.disk_write_latency << " s, C = " << checkpoints

@@ -5,7 +5,8 @@
 // starts; this subsystem extends that to failures *during* recovery — the
 // cascading case.  A ChaosInjector installs a Runtime hook that fires at
 // named protocol phase boundaries (see ftmpi::chaos_point): "shrink",
-// "agree", "spawn", "spawn.done", "merge", "split" and "ckpt.write".  Each
+// "agree", "spawn", "spawn.done", "merge", "split", "ckpt.write" and
+// "buddy.send" (the diskless buddy replication boundary).  Each
 // scheduled event names a victim pid, a phase, and an occurrence number; the
 // victim is killed at the entry of the occurrence-th time *it* reaches that
 // phase.  Occurrences are counted per (pid, phase) on the victim's own

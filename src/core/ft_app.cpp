@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <limits>
 #include <map>
 
 #include "advection/serial_solver.hpp"
@@ -47,11 +49,19 @@ struct FtApp::RankState {
   bool degraded = false;
   DegradedView dview;
   std::set<int> failed_union;  // original ranks failed so far, all repairs
+  // Buddy placement map (deterministic, identical on every rank).
+  ftr::rec::BuddyTopology btopo;
+  // Grids whose recovery plan ended in Gcp/Idle: they keep no usable data
+  // and the GCP combination absorbs them (uniform across ranks — filled
+  // from the agreed plan).
+  std::set<int> unrestored;
   // rank-0 metrics
   ReconstructTimings recon_sum{};
   int repairs = 0;
   int recon_attempts = 0;
   double recovery_time = 0.0;
+  double recovery_bytes = 0.0;
+  double buddy_repl_time = 0.0;
   double ckpt_write_total = 0.0;
   double solve_time = 0.0;
 
@@ -62,6 +72,45 @@ FtApp::FtApp(AppConfig cfg) : cfg_(std::move(cfg)), layout_(build_layout(cfg_.la
   store_ = cfg_.checkpoint_dir.empty()
                ? std::make_shared<ftr::rec::CheckpointStore>()
                : std::make_shared<ftr::rec::CheckpointStore>(cfg_.checkpoint_dir);
+  buddy_ = std::make_shared<ftr::rec::BuddyStore>();
+  if (const char* e = std::getenv("FTR_RECOVERY")) {
+    const std::string v(e);
+    if (v == "planner") {
+      cfg_.recovery = RecoveryPolicy::Planner;
+    } else if (v == "cr") {
+      cfg_.recovery = RecoveryPolicy::Cr;
+    } else if (v == "rc") {
+      cfg_.recovery = RecoveryPolicy::Rc;
+    } else if (v == "ac") {
+      cfg_.recovery = RecoveryPolicy::Ac;
+    } else if (v == "technique") {
+      cfg_.recovery = RecoveryPolicy::Technique;
+    } else if (!v.empty()) {
+      FTR_WARN("ft_app: ignoring unknown FTR_RECOVERY value '%s'", v.c_str());
+    }
+  }
+  if (const char* e = std::getenv("FTR_BUDDY_EVERY")) cfg_.buddy_every = std::atol(e);
+}
+
+ftr::rec::PlannerMode FtApp::planner_mode() const {
+  switch (cfg_.recovery) {
+    case RecoveryPolicy::Planner: return ftr::rec::PlannerMode::Lattice;
+    case RecoveryPolicy::Cr: return ftr::rec::PlannerMode::ForceCr;
+    case RecoveryPolicy::Rc: return ftr::rec::PlannerMode::ForceRc;
+    case RecoveryPolicy::Ac: return ftr::rec::PlannerMode::ForceAc;
+    case RecoveryPolicy::Technique: break;
+  }
+  switch (cfg_.layout.technique) {
+    case Technique::ResamplingCopying: return ftr::rec::PlannerMode::ForceRc;
+    case Technique::AlternateCombination: return ftr::rec::PlannerMode::ForceAc;
+    case Technique::CheckpointRestart: break;
+  }
+  return ftr::rec::PlannerMode::ForceCr;
+}
+
+int FtApp::gcp_depth() const {
+  return cfg_.layout.technique == Technique::AlternateCombination ? 1 + cfg_.layout.extra_layers
+                                                                  : 1;
 }
 
 int FtApp::launch(ftmpi::Runtime& rt) {
@@ -126,6 +175,7 @@ int FtApp::solve_to(RankState& st, long target) {
     maybe_self_kill(st, st.solver->steps_done());
     const int rc = st.solver->step();
     if (rc != kSuccess) return rc;
+    buddy_tick(st);
   }
   return kSuccess;
 }
@@ -143,6 +193,7 @@ void FtApp::entry(const std::vector<std::string>& argv) {
   }
   st.wrank = st.world.rank();
   st.grid = layout_.grid_of_rank(st.wrank);
+  st.btopo = make_buddy_topology(layout_, ftmpi::runtime().slots_per_host());
   st.dt = ftr::advection::stable_timestep(cfg_.layout.scheme.n, cfg_.problem, cfg_.cfl);
 
   long resume_interval = 0;
@@ -195,6 +246,11 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
     // Detection is tested before the checkpoint write (paper Sec. III).
     const auto res = st.recon.reconstruct(st.world);
     if (res.repaired) {
+      // Harvest in-flight buddy replicas while the pre-repair world is
+      // still in hand: reconstruct() only returns once every survivor has
+      // entered it, so all pre-repair replication sends are buffered by
+      // now — and the world swap would orphan them.
+      drain_buddies(st);
       if (!adopt_reconstruction(st, res)) return;
       post_repair(st, i, /*is_child=*/false);
       // The failed grid restarted from the recent checkpoint instead of
@@ -226,6 +282,9 @@ void FtApp::run_combination_technique(RankState& st) {
   // Single detection point at the end, before the combination (paper).
   const auto res = st.recon.reconstruct(st.world);
   if (res.repaired) {
+    // Harvest in-flight buddy replicas while the pre-repair world is still
+    // in hand (see run_checkpoint_restart_from).
+    drain_buddies(st);
     if (!adopt_reconstruction(st, res)) return;
     post_repair(st, cfg_.checkpoints /* => target = timesteps */, /*is_child=*/false);
   }
@@ -316,27 +375,16 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
     st.solver->set_comm(st.gcomm);
   }
 
-  // 3. Technique-specific restoration of the really-lost grids, timed as a
+  // 3. Planner-driven restoration of the really-lost grids, timed as a
   //    barrier-delimited window on rank 0's (synchronized) virtual clock.
-  //    Degraded mode defers all recovery to the GCP combination (there is
-  //    no complete group to restore onto), but every rank still runs the
-  //    delimiting barriers.
+  //    Degraded grids have no complete group to restore onto; the planner
+  //    marks them Gcp/Idle and the GCP combination absorbs them, while
+  //    every rank still runs the delimiting barriers.
   std::vector<int> lost(lost_ids.begin(), lost_ids.end());
   ftmpi::barrier(st.world);
   const double t0 = ftmpi::wtime();
-  if (!st.degraded) {
-    switch (cfg_.layout.technique) {
-      case Technique::CheckpointRestart:
-        cr_restore(st, lost, interval_target(header[0]));
-        break;
-      case Technique::ResamplingCopying:
-        rc_restore(st, lost);
-        break;
-      case Technique::AlternateCombination:
-        // Recovery happens at the combination (coefficients + sampling).
-        break;
-    }
-  }
+  restore_lost_grids(st, lost, interval_target(header[0]),
+                     /*charge_gcp_coeffs=*/planner_mode() == ftr::rec::PlannerMode::Lattice);
   ftmpi::barrier(st.world);
   if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
 }
@@ -384,39 +432,321 @@ void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target)
   }
 }
 
-void FtApp::rc_restore(RankState& st, const std::vector<int>& lost) {
-  // Each lost grid is restored from its partner: exact copy from the
-  // duplicate for diagonal grids, resampling from the finer diagonal for
-  // lower-diagonal grids.  Every rank walks the same lost list; only the
-  // partner group and the lost group take part in each transfer.
-  for (int lost_id : lost) {
-    const auto partner = ftr::rec::rc_partner(layout_.slots, lost_id);
-    if (!partner.has_value()) {
-      FTR_ERROR("ft_app: lost grid %d has no RC partner", lost_id);
-      continue;
+void FtApp::rc_restore_one(RankState& st, int lost_id, int partner, long target) {
+  // One RC transfer: exact copy from the duplicate for diagonal grids,
+  // resampling from the finer diagonal for lower-diagonal grids.  Only the
+  // partner group and the lost group take part; the partner group is at
+  // `target` steps, so the restored grid resumes there.
+  if (partner < 0 || partner >= static_cast<int>(layout_.slots.size())) {
+    FTR_ERROR("ft_app: lost grid %d has no usable RC partner", lost_id);
+    return;
+  }
+  if (!st.solver) return;  // idle (degraded) ranks take no part
+  const Level p_level = layout_.slots[static_cast<size_t>(partner)].level;
+  if (st.grid == partner) {
+    Grid2D full;
+    if (st.solver->gather_full(&full) != kSuccess) return;
+    if (st.gcomm.rank() == 0) {
+      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
+                  layout_.root_rank_of_grid(lost_id), kTagPartner + lost_id, st.world);
     }
-    const int p = *partner;
-    const Level p_level = layout_.slots[static_cast<size_t>(p)].level;
-    if (!st.solver) continue;  // idle (degraded) ranks take no part
-    if (st.grid == p) {
-      Grid2D full;
-      if (st.solver->gather_full(&full) != kSuccess) continue;
-      if (st.gcomm.rank() == 0) {
-        ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
-                    layout_.root_rank_of_grid(lost_id), kTagPartner + lost_id, st.world);
+  }
+  if (st.grid == lost_id) {
+    Grid2D recovered;
+    if (st.gcomm.rank() == 0) {
+      Grid2D partner_grid(p_level);
+      ftmpi::recv(partner_grid.data().data(), static_cast<int>(partner_grid.data().size()),
+                  layout_.root_rank_of_grid(partner), kTagPartner + lost_id, st.world);
+      auto rec = ftr::rec::rc_recover(layout_.slots, lost_id, partner_grid);
+      if (rec.has_value()) {
+        recovered = std::move(*rec);
+      } else {
+        // Unreachable when the planner built the pair; keep the group
+        // consistent (zero data) instead of crashing.
+        FTR_ERROR("ft_app: RC recovery of grid %d from %d failed", lost_id, partner);
+        recovered = Grid2D(layout_.slots[static_cast<size_t>(lost_id)].level);
       }
     }
-    if (st.grid == lost_id) {
-      Grid2D recovered;
-      if (st.gcomm.rank() == 0) {
-        Grid2D partner_grid(p_level);
-        ftmpi::recv(partner_grid.data().data(), static_cast<int>(partner_grid.data().size()),
-                    layout_.root_rank_of_grid(p), kTagPartner + lost_id, st.world);
-        recovered = ftr::rec::rc_recover(layout_.slots, lost_id, partner_grid);
-      }
-      st.solver->scatter_full(recovered);
-      st.solver->set_steps_done(cfg_.timesteps);
+    st.solver->scatter_full(recovered);
+    st.solver->set_steps_done(target);
+  }
+}
+
+void FtApp::buddy_restore_one(RankState& st, int grid, long step, long target) {
+  const auto& topo = st.btopo;
+  if (grid < 0 || grid >= topo.num_grids()) return;
+  // Holders ship first (eager sends complete immediately, so send-then-
+  // receive cannot deadlock); members receive, restore and recompute the
+  // tail.  A holder whose generation vanished still sends — a count-0
+  // marker — so the member never hangs on a message that will not come.
+  const int first = topo.first_rank[static_cast<size_t>(grid)];
+  const int nprocs = topo.procs_per_grid[static_cast<size_t>(grid)];
+  for (int gr = 0; gr < nprocs; ++gr) {
+    const int owner = first + gr;
+    if (ftr::rec::buddy_rank_of(topo, owner) != st.wrank) continue;
+    const auto rep = buddy_->read_at(ftmpi::self_pid(), grid, gr, step);
+    if (!rep.has_value()) {
+      FTR_WARN("ft_app: buddy replica of grid %d/%d step %ld unavailable on rank %d", grid,
+               gr, step, st.wrank);
     }
+    const auto buf = ftr::rec::pack_replica(
+        grid, gr, step, rep.has_value() ? rep->data : std::vector<double>{});
+    ftmpi::send_bytes(buf.data(), buf.size(), owner, ftr::rec::kTagBuddyFetch, st.world);
+  }
+  if (st.grid != grid || !st.solver) return;
+  const int holder = ftr::rec::buddy_rank_of(topo, st.wrank);
+  const auto& blk = st.solver->field().block();
+  const size_t cells = static_cast<size_t>(blk.cells());
+  std::vector<std::byte> buf(5 * sizeof(long) + cells * sizeof(double));
+  ftmpi::Status stat;
+  const int rc = ftmpi::recv_bytes(buf.data(), buf.size(), holder, ftr::rec::kTagBuddyFetch,
+                                   st.world, &stat);
+  std::optional<ftr::rec::ReplicaMessage> msg;
+  if (rc == kSuccess) msg = ftr::rec::unpack_replica(buf.data(), static_cast<size_t>(stat.count));
+  if (!msg.has_value() || msg->step != step || msg->data.size() != cells) {
+    // Dead holder, corrupt replica, or vanished generation: this grid cannot
+    // come back through the buddy rung.  Revoke so group mates bail out of
+    // the restore; the next detection point repairs and replans.
+    FTR_WARN("ft_app: buddy fetch for grid %d failed on rank %d (%s)", grid, st.wrank,
+             ftmpi::error_string(rc));
+    ftmpi::comm_revoke(st.gcomm);
+    return;
+  }
+  unpack_interior(msg->data, st.solver->field());
+  st.solver->set_steps_done(step);
+  if (solve_to(st, target) != kSuccess) {
+    FTR_WARN("ft_app: failure during buddy recompute (rank %d)", st.wrank);
+    ftmpi::comm_revoke(st.gcomm);
+  }
+}
+
+void FtApp::buddy_tick(RankState& st) {
+  if (cfg_.buddy_every <= 0 || st.degraded || !st.solver || st.gcomm.is_null()) return;
+  const long s = st.solver->steps_done();
+  if (s <= 0 || s >= cfg_.timesteps || s % cfg_.buddy_every != 0) return;
+  const double t0 = ftmpi::wtime();
+  // Drain replicas addressed to us first, then stream our block out.  The
+  // nonblocking eager send charges only its injection overhead, so the
+  // replication overlaps the next timesteps.
+  ftr::rec::buddy_drain(*buddy_, st.world);
+  ftr::rec::buddy_send(st.btopo, st.world, st.grid, st.gcomm.rank(), s,
+                       pack_interior(st.solver->field()));
+  if (st.wrank == 0) st.buddy_repl_time += ftmpi::wtime() - t0;
+}
+
+void FtApp::drain_buddies(RankState& st) {
+  if (cfg_.buddy_every <= 0 || st.degraded || st.world.is_null()) return;
+  ftr::rec::buddy_drain(*buddy_, st.world);
+}
+
+void FtApp::restore_lost_grids(RankState& st, const std::vector<int>& lost, long target,
+                               bool charge_gcp_coeffs) {
+  std::set<int> lset(lost.begin(), lost.end());
+  if (st.degraded) {
+    for (int g : st.dview.lost_grids) lset.insert(g);
+  }
+  if (lset.empty()) return;
+  const std::vector<int> all_lost(lset.begin(), lset.end());
+  ftr::rec::RecoveryPlan plan;
+  if (planner_mode() == ftr::rec::PlannerMode::Lattice) {
+    plan = negotiate_plan(st, all_lost);
+  } else {
+    // The Force* plans are a pure function of uniformly-known facts, so
+    // every rank computes the same plan locally — the legacy paths keep
+    // their exact communication pattern, with no negotiation round.
+    std::vector<ftr::rec::GridFacts> facts;
+    for (int g : all_lost) {
+      ftr::rec::GridFacts f;
+      f.id = g;
+      f.group_complete = !st.degraded || !st.dview.grid_lost(g);
+      facts.push_back(f);
+    }
+    plan = ftr::rec::plan_recovery(layout_.slots, cfg_.layout.scheme, gcp_depth(),
+                                   planner_mode(), facts,
+                                   std::vector<int>(st.unrestored.begin(), st.unrestored.end()));
+  }
+  execute_plan(st, plan, target, charge_gcp_coeffs);
+}
+
+ftr::rec::RecoveryPlan FtApp::negotiate_plan(RankState& st, const std::vector<int>& lost) {
+  // 1. Every rank reports the buddy generations it holds for members of the
+  //    lost grids: records of 4 longs {grid, group rank, newest, prev}.
+  const bool buddies = cfg_.buddy_every > 0 && !st.degraded;
+  std::vector<long> mine;
+  if (buddies) {
+    ftr::rec::buddy_drain(*buddy_, st.world);
+    for (int g : lost) {
+      const int nprocs = st.btopo.procs_per_grid[static_cast<size_t>(g)];
+      for (int gr = 0; gr < nprocs; ++gr) {
+        const int owner = st.btopo.first_rank[static_cast<size_t>(g)] + gr;
+        if (ftr::rec::buddy_rank_of(st.btopo, owner) != st.wrank) continue;
+        const auto h = buddy_->holding(ftmpi::self_pid(), g, gr);
+        if (h.newest < 0) continue;
+        mine.push_back(g);
+        mine.push_back(gr);
+        mine.push_back(h.newest);
+        mine.push_back(h.prev);
+      }
+    }
+  }
+  std::vector<std::vector<long>> parts;
+  const int grc = ftmpi::gatherv(mine, &parts, 0, st.world);
+
+  // 2. World rank 0 derives the facts and plans over the full lattice.
+  std::vector<long> wire;  // [n, gcp_feasible, then 4 longs per entry]
+  if (st.wrank == 0) {
+    std::map<std::pair<int, int>, ftr::rec::BuddyStore::Holding> held;
+    if (grc == kSuccess) {
+      for (const auto& p : parts) {
+        for (size_t i = 0; i + 3 < p.size(); i += 4) {
+          held[{static_cast<int>(p[i]), static_cast<int>(p[i + 1])}] =
+              ftr::rec::BuddyStore::Holding{p[i + 2], p[i + 3]};
+        }
+      }
+    }
+    std::vector<ftr::rec::GridFacts> facts;
+    for (int g : lost) {
+      ftr::rec::GridFacts f;
+      f.id = g;
+      f.group_complete = !st.degraded || !st.dview.grid_lost(g);
+      if (buddies && f.group_complete) {
+        // The buddy rung is on iff every member's block is held at a common
+        // generation: the minimum of the newest steps, which the
+        // two-generation store still has everywhere when ticks interleave.
+        const int nprocs = st.btopo.procs_per_grid[static_cast<size_t>(g)];
+        long common = std::numeric_limits<long>::max();
+        bool all = nprocs > 0;
+        for (int gr = 0; gr < nprocs && all; ++gr) {
+          const auto it = held.find({g, gr});
+          if (it == held.end()) {
+            all = false;
+          } else {
+            common = std::min(common, it->second.newest);
+          }
+        }
+        if (all && common > 0) {
+          for (int gr = 0; gr < nprocs && all; ++gr) {
+            const auto& h = held[{g, gr}];
+            if (h.newest != common && h.prev != common) all = false;
+          }
+        } else {
+          all = false;
+        }
+        if (all) {
+          f.buddy_available = true;
+          f.buddy_step = common;
+        }
+      }
+      facts.push_back(f);
+    }
+    const auto planned = ftr::rec::plan_recovery(
+        layout_.slots, cfg_.layout.scheme, gcp_depth(), ftr::rec::PlannerMode::Lattice, facts,
+        std::vector<int>(st.unrestored.begin(), st.unrestored.end()));
+    wire.push_back(static_cast<long>(planned.entries.size()));
+    wire.push_back(planned.gcp_feasible ? 1 : 0);
+    for (const auto& e : planned.entries) {
+      wire.push_back(e.grid);
+      wire.push_back(static_cast<long>(e.action));
+      wire.push_back(e.step);
+      wire.push_back(e.partner);
+    }
+  }
+
+  // 3. Broadcast the agreed plan.  A failure mid-negotiation yields an
+  //    empty plan; the next detection point repairs and replans.
+  long hdr[2] = {0, 1};
+  if (st.wrank == 0 && wire.size() >= 2) {
+    hdr[0] = wire[0];
+    hdr[1] = wire[1];
+  }
+  ftr::rec::RecoveryPlan plan;
+  if (ftmpi::bcast(hdr, 2, 0, st.world) != kSuccess) return plan;
+  std::vector<long> body(static_cast<size_t>(std::max<long>(hdr[0], 0)) * 4);
+  if (st.wrank == 0 && !body.empty()) body.assign(wire.begin() + 2, wire.end());
+  if (!body.empty() &&
+      ftmpi::bcast(body.data(), static_cast<int>(body.size()), 0, st.world) != kSuccess) {
+    return plan;
+  }
+  plan.gcp_feasible = hdr[1] != 0;
+  for (size_t i = 0; i + 3 < body.size(); i += 4) {
+    ftr::rec::PlanEntry e;
+    e.grid = static_cast<int>(body[i]);
+    e.action = static_cast<ftr::rec::RecoveryAction>(body[i + 1]);
+    e.step = body[i + 2];
+    e.partner = static_cast<int>(body[i + 3]);
+    plan.entries.push_back(e);
+  }
+  return plan;
+}
+
+void FtApp::execute_plan(RankState& st, const ftr::rec::RecoveryPlan& plan, long target,
+                         bool charge_gcp_coeffs) {
+  using ftr::rec::RecoveryAction;
+  const int ngrids = static_cast<int>(layout_.slots.size());
+  // Entries are in ascending grid id on every rank, so the per-entry
+  // transfers pair up without cross-entry deadlock (holders only post
+  // eager sends; each group's blocking work is confined to its own entry).
+  for (const auto& e : plan.entries) {
+    if (e.grid < 0 || e.grid >= ngrids) continue;
+    switch (e.action) {
+      case RecoveryAction::RcCopy:
+      case RecoveryAction::RcResample:
+        rc_restore_one(st, e.grid, e.partner, target);
+        break;
+      case RecoveryAction::Buddy:
+        buddy_restore_one(st, e.grid, e.step, target);
+        break;
+      case RecoveryAction::Disk:
+        cr_restore(st, {e.grid}, target);
+        break;
+      case RecoveryAction::Gcp:
+      case RecoveryAction::Idle:
+        st.unrestored.insert(e.grid);
+        break;
+    }
+  }
+  if (st.wrank != 0) return;
+
+  // Plan bookkeeping: per-action counts, the per-grid decision, and the
+  // modeled volume of recovery-source data moved.
+  ftmpi::Runtime& rt = ftmpi::runtime();
+  const auto level_bytes = [](const Level& lv) {
+    return 8.0 * static_cast<double>((1 << lv.x) + 1) * static_cast<double>((1 << lv.y) + 1);
+  };
+  bool any_gcp = false;
+  for (const auto& e : plan.entries) {
+    if (e.grid < 0 || e.grid >= ngrids) continue;
+    rt.add(std::string(keys::kPlanPrefix) + ftr::rec::action_name(e.action), 1.0);
+    rt.put(std::string(keys::kPlanPrefix) + "grid" + std::to_string(e.grid),
+           static_cast<double>(e.action));
+    switch (e.action) {
+      case RecoveryAction::RcCopy:
+      case RecoveryAction::RcResample:
+        if (e.partner >= 0 && e.partner < ngrids) {
+          st.recovery_bytes += level_bytes(layout_.slots[static_cast<size_t>(e.partner)].level);
+        }
+        break;
+      case RecoveryAction::Buddy:
+      case RecoveryAction::Disk:
+        st.recovery_bytes += level_bytes(layout_.slots[static_cast<size_t>(e.grid)].level);
+        break;
+      case RecoveryAction::Gcp:
+        any_gcp = true;
+        break;
+      case RecoveryAction::Idle:
+        break;
+    }
+  }
+  if (!plan.gcp_feasible) {
+    FTR_WARN("ft_app: no GCP solution absorbs the unrestored grids; they idle");
+  }
+  const auto mode = planner_mode();
+  if (charge_gcp_coeffs && any_gcp &&
+      (mode == ftr::rec::PlannerMode::ForceAc || mode == ftr::rec::PlannerMode::Lattice)) {
+    // The only recovery overhead of re-combination is deriving the GCP
+    // coefficients (paper Sec. III-B); the sampling rides the compulsory
+    // combination stage anyway.
+    ftmpi::charge_flops(ftr::rec::ac_coefficient_flops(cfg_.layout.scheme, gcp_depth()));
   }
 }
 
@@ -428,37 +758,17 @@ void FtApp::recovery_and_combine(RankState& st) {
   if (!sim.empty()) {
     ftmpi::barrier(st.world);
     const double t0 = ftmpi::wtime();
-    switch (tech) {
-      case Technique::CheckpointRestart:
-        cr_restore(st, sim, cfg_.timesteps);
-        break;
-      case Technique::ResamplingCopying:
-        rc_restore(st, sim);
-        break;
-      case Technique::AlternateCombination:
-        // The only recovery overhead of AC is deriving the new combination
-        // coefficients (the sampling happens during the compulsory
-        // combination stage anyway, paper Sec. III-B).
-        if (st.wrank == 0) {
-          ftmpi::charge_flops(ftr::rec::ac_coefficient_flops(
-              cfg_.layout.scheme, 1 + cfg_.layout.extra_layers));
-        }
-        break;
-    }
+    restore_lost_grids(st, sim, cfg_.timesteps, /*charge_gcp_coeffs=*/true);
     ftmpi::barrier(st.world);
     if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
   }
 
   // --- combination ----------------------------------------------------------
-  // AC combines around the still-lost grids with GCP coefficients; CR and
-  // RC have restored every grid, so the classic combination applies.  In
-  // degraded (shrink-mode) runs nothing could be restored, so every
-  // technique combines around its lost grids the AC way.
-  std::set<int> lost_now;
-  if (tech == Technique::AlternateCombination || st.degraded) {
-    lost_now = st.real_lost_grids;
-    for (int id : sim) lost_now.insert(id);
-  }
+  // The combination excludes exactly the grids no lattice rung restored
+  // (st.unrestored, agreed through the plan): the classic combination when
+  // everything came back, GCP coefficients around the remainder otherwise
+  // (AC's deliberate choice, and every technique's shrink-mode fallback).
+  const std::set<int> lost_now = st.unrestored;
 
   ftmpi::barrier(st.world);
   const double t_comb = ftmpi::wtime();
@@ -588,6 +898,10 @@ void FtApp::recovery_and_combine(RankState& st) {
            st.degraded ? 2.0 : (st.repairs > 0 ? 1.0 : 0.0));
     rt.put(keys::kReconAttempts, static_cast<double>(st.recon_attempts));
     rt.put(keys::kSurvivors, static_cast<double>(st.world.size()));
+    rt.put(keys::kRecoveryBytes, st.recovery_bytes);
+    rt.put(keys::kBuddyReplications, static_cast<double>(buddy_->replications()));
+    rt.put(keys::kBuddyReplBytes, static_cast<double>(buddy_->replicated_bytes()));
+    rt.put(keys::kBuddyReplTime, st.buddy_repl_time);
   }
 }
 

@@ -40,7 +40,9 @@
 #include "core/layout.hpp"
 #include "core/reconstruct.hpp"
 #include "ftmpi/runtime.hpp"
+#include "recovery/buddy.hpp"
 #include "recovery/checkpoint.hpp"
+#include "recovery/planner.hpp"
 
 namespace ftr::core {
 
@@ -69,7 +71,33 @@ inline constexpr const char* kReconMode = "recon.mode";
 inline constexpr const char* kReconAttempts = "recon.attempts";
 /// World size the run finished with (== app.procs unless degraded).
 inline constexpr const char* kSurvivors = "app.survivors";
+/// Bytes of recovery-source data moved to restore lost grids (partner
+/// copies, buddy fetches, checkpoint reads).
+inline constexpr const char* kRecoveryBytes = "recon.recovery_bytes";
+/// Per-action plan decision counts, e.g. "recon.plan.rc_copy",
+/// "recon.plan.buddy", "recon.plan.disk", "recon.plan.gcp",
+/// "recon.plan.idle"; per grid, "recon.plan.grid<N>" holds the
+/// RecoveryAction enum value chosen for grid N.
+inline constexpr const char* kPlanPrefix = "recon.plan.";
+/// Diskless buddy replication totals (store-wide) and the virtual time
+/// rank 0 spent in its replication ticks.
+inline constexpr const char* kBuddyReplications = "recon.buddy.replications";
+inline constexpr const char* kBuddyReplBytes = "recon.buddy.repl_bytes";
+inline constexpr const char* kBuddyReplTime = "recon.buddy.repl_time";
 }  // namespace keys
+
+/// How lost grids are restored after a repair.
+///   Technique — the paper's behaviour: the layout's technique dictates the
+///               restoration (CR reads checkpoints, RC copies partners, AC
+///               recombines);
+///   Planner   — the unified preference lattice (RC copy -> RC resample ->
+///               buddy snapshot -> disk checkpoint -> GCP -> idle), picking
+///               the cheapest feasible source per lost grid;
+///   Cr/Rc/Ac  — force one technique's restoration regardless of layout
+///               (infeasible patterns degrade to GCP/idle, never crash).
+/// The FTR_RECOVERY environment variable (planner|cr|rc|ac|technique)
+/// overrides the configured value at construction time.
+enum class RecoveryPolicy { Technique, Planner, Cr, Rc, Ac };
 
 struct AppConfig {
   LayoutConfig layout;
@@ -91,6 +119,12 @@ struct AppConfig {
   /// are identical — they come from the cluster profile either way.
   std::string checkpoint_dir;
   std::string app_name = "ft_pde_app";
+  /// Restoration policy (see RecoveryPolicy; FTR_RECOVERY overrides).
+  RecoveryPolicy recovery = RecoveryPolicy::Technique;
+  /// Diskless buddy replication interval in timesteps (0 = off): every
+  /// `buddy_every` steps each rank streams its block to its buddy rank.
+  /// FTR_BUDDY_EVERY overrides.
+  long buddy_every = 0;
 };
 
 class FtApp {
@@ -105,6 +139,7 @@ class FtApp {
   [[nodiscard]] const Layout& layout() const { return layout_; }
   [[nodiscard]] const AppConfig& config() const { return cfg_; }
   [[nodiscard]] ftr::rec::CheckpointStore& checkpoint_store() { return *store_; }
+  [[nodiscard]] ftr::rec::BuddyStore& buddy_store() { return *buddy_; }
 
   /// The per-rank entry point (public so tests can drive it directly).
   void entry(const std::vector<std::string>& argv);
@@ -137,10 +172,32 @@ class FtApp {
   /// is deferred to the GCP combination.
   void post_repair(RankState& st, long interval_index, bool is_child);
 
-  /// Technique-specific restoration of lost grids (used for both real and
-  /// simulated losses).
+  /// Planner-driven restoration of lost grids (both real and simulated
+  /// losses): agree on the facts, compute the plan over the preference
+  /// lattice, broadcast it, execute it.  Grids whose entries end in
+  /// Gcp/Idle join st.unrestored and are absorbed by the combination.
+  void restore_lost_grids(RankState& st, const std::vector<int>& lost, long target,
+                          bool charge_gcp_coeffs);
+  /// Gather buddy availability to world rank 0, plan there, broadcast
+  /// (Lattice mode only — the Force* plans need no negotiation round).
+  ftr::rec::RecoveryPlan negotiate_plan(RankState& st, const std::vector<int>& lost);
+  void execute_plan(RankState& st, const ftr::rec::RecoveryPlan& plan, long target,
+                    bool charge_gcp_coeffs);
+
+  /// One rung of the lattice each: CR rollback of one grid's group,
+  /// partner copy/resample, buddy-snapshot fetch + recompute.
   void cr_restore(RankState& st, const std::vector<int>& lost, long target);
-  void rc_restore(RankState& st, const std::vector<int>& lost);
+  void rc_restore_one(RankState& st, int lost_id, int partner, long target);
+  void buddy_restore_one(RankState& st, int grid, long step, long target);
+
+  /// The planner mode the configured policy maps to.
+  [[nodiscard]] ftr::rec::PlannerMode planner_mode() const;
+  /// GCP depth the combination will solve with (must match the planner's).
+  [[nodiscard]] int gcp_depth() const;
+  /// Replication tick: drain incoming replicas, stream our block out.
+  void buddy_tick(RankState& st);
+  /// Harvest in-flight replicas before the world communicator is replaced.
+  void drain_buddies(RankState& st);
 
   /// Recovery of simulated losses + final combination and error report.
   void recovery_and_combine(RankState& st);
@@ -153,6 +210,7 @@ class FtApp {
   AppConfig cfg_;
   Layout layout_;
   std::shared_ptr<ftr::rec::CheckpointStore> store_;
+  std::shared_ptr<ftr::rec::BuddyStore> buddy_;
 
   // Kill bookkeeping shared by all rank threads: each planned kill fires
   // exactly once (a respawned process re-runs the same timesteps and must

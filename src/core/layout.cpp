@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/replication.hpp"
+
 namespace ftr::core {
 
 using ftr::comb::GridRole;
@@ -24,6 +26,19 @@ std::vector<int> Layout::grids_of_ranks(const std::vector<int>& world_ranks) con
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+ftr::rec::BuddyTopology make_buddy_topology(const Layout& layout, int slots_per_host) {
+  ftr::rec::BuddyTopology topo;
+  topo.first_rank = layout.first_rank;
+  topo.procs_per_grid = layout.procs_per_grid;
+  topo.slots_per_host = slots_per_host;
+  topo.partner_grid.resize(layout.slots.size(), -1);
+  for (const auto& slot : layout.slots) {
+    const auto partner = ftr::rec::rc_partner(layout.slots, slot.id);
+    if (partner.has_value()) topo.partner_grid[static_cast<size_t>(slot.id)] = *partner;
+  }
+  return topo;
 }
 
 int DegradedView::new_rank_of(int original_rank) const {

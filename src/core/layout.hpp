@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "combination/index_set.hpp"
+#include "recovery/buddy.hpp"
 
 namespace ftr::core {
 
@@ -45,7 +46,20 @@ struct Layout {
   }
   /// Grid ids owning any of the given world ranks (sorted, unique).
   [[nodiscard]] std::vector<int> grids_of_ranks(const std::vector<int>& world_ranks) const;
+  /// Host of an initial-placement world rank: the runtime allocates slots
+  /// sequentially, so rank r sits on host r / slots_per_host, and the
+  /// reconstructor respawns replacements on their original hosts, keeping
+  /// the map valid across repairs.
+  [[nodiscard]] int host_of_rank(int world_rank, int slots_per_host) const {
+    return world_rank / (slots_per_host > 0 ? slots_per_host : 1);
+  }
 };
+
+/// The placement facts the diskless buddy subsystem needs (recovery code
+/// cannot depend on core, so core derives them from its Layout): per-grid
+/// rank ranges, the RC partner map, and the host geometry.
+[[nodiscard]] ftr::rec::BuddyTopology make_buddy_topology(const Layout& layout,
+                                                          int slots_per_host);
 
 /// Rank bookkeeping for shrink-mode (degraded) recovery: when replacement
 /// processes cannot be placed, execution continues on the shrunken

@@ -79,7 +79,8 @@ Runtime& runtime();
 /// then re-checks liveness so a hook that kills the caller unwinds it right
 /// at the boundary.  No-op off rank threads and when no hook is installed.
 /// Phases fired by the runtime: "shrink", "agree", "spawn", "spawn.done",
-/// "merge", "split"; the checkpoint store fires "ckpt.write".
+/// "merge", "split"; the checkpoint store fires "ckpt.write"; the diskless
+/// buddy subsystem fires "buddy.send" before each replication send.
 void chaos_point(const char* phase);
 
 // --- error handling -----------------------------------------------------------
@@ -132,6 +133,18 @@ int test(Request* req, int* flag, Status* status = nullptr);
 /// Nonblocking / blocking message probe (MPI_Iprobe / MPI_Probe).
 int iprobe(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
 int probe(int src, int tag, const Comm& c, Status* status = nullptr);
+
+/// Salvage variants restricted to *already-buffered* traffic: answer "has a
+/// matching message already been delivered into my mailbox?" and, if so,
+/// hand it over.  That question is purely local, so — unlike iprobe/recv —
+/// these work on a revoked communicator and never report peer failures: a
+/// revoke fences future traffic but does not claw back eager data the
+/// transport delivered before it.  Recovery protocols use them to harvest
+/// in-flight replicas after the world broke.  recv_buffered never blocks;
+/// with nothing matching it returns kErrPending.
+int iprobe_buffered(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
+int recv_buffered(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+                  Status* status = nullptr);
 
 /// MPI_Sendrecv equivalent.
 int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,

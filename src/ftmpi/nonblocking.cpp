@@ -1,5 +1,8 @@
 // Nonblocking point-to-point, probe, and send-receive.
 
+#include <algorithm>
+#include <cstring>
+
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
 #include "ftmpi/request.hpp"
@@ -8,8 +11,18 @@ namespace ftmpi {
 
 int isend_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c,
                 Request* req) {
-  // Eager transport: the send buffers at the destination immediately.
+  // Eager transport: the send buffers at the destination immediately.  A
+  // nonblocking send only charges its injection overhead to the sender's
+  // clock — the wire time is already carried by the message's arrival
+  // stamp, so the transfer overlaps whatever the sender does next (this is
+  // what lets buddy replication overlap time-stepping).
+  ProcessState& ps = detail::self();
+  const double before = ps.vclock;
   const int rc = send_bytes(data, n, dest, tag, c);
+  if (rc == kSuccess) {
+    const double charged = ps.vclock - before;
+    ps.vclock = before + std::min(charged, detail::rt().cost().send_overhead);
+  }
   *req = Request{};
   req->kind_ = Request::Kind::SendComplete;
   req->send_result = rc;
@@ -86,21 +99,29 @@ int test(Request* req, int* flag, Status* status) {
   return kErrArg;
 }
 
+namespace {
+
+/// True when message `m` matches a user-plane receive on `c` for (src, tag).
+bool buffered_match(const Message& m, const Comm& c, int src, int tag) {
+  if (m.ctrl || m.ctx != c.context()->id) return false;
+  if (tag == kAnyTag ? m.tag < 0 : m.tag != tag) return false;
+  if (src != kAnySource && m.src_rank != src) return false;
+  const int side = c.side();
+  return c.is_inter() ? (m.src_side != side) : (m.src_side == side);
+}
+
+}  // namespace
+
 int iprobe(int src, int tag, const Comm& c, int* flag, Status* status) {
   detail::check_alive();
   *flag = 0;
   if (c.is_null()) return kErrComm;
   if (c.is_revoked()) return kErrRevoked;
   ProcessState& ps = detail::self();
-  const std::uint64_t id = c.context()->id;
-  const int side = c.side();
   const bool inter = c.is_inter();
   std::lock_guard<std::mutex> lock(ps.mu);
   for (const Message& m : ps.mailbox) {
-    if (m.ctrl || m.ctx != id) continue;
-    if (tag == kAnyTag ? m.tag < 0 : m.tag != tag) continue;
-    if (src != kAnySource && m.src_rank != src) continue;
-    if (inter ? (m.src_side == side) : (m.src_side != side)) continue;
+    if (!buffered_match(m, c, src, tag)) continue;
     *flag = 1;
     if (status != nullptr) {
       status->source = m.src_rank;
@@ -133,6 +154,54 @@ int probe(int src, int tag, const Comm& c, Status* status) {
     if (ps.dead.load()) throw ProcessKilled{ps.pid};
     ps.cv.wait(lock);
   }
+}
+
+int iprobe_buffered(int src, int tag, const Comm& c, int* flag, Status* status) {
+  detail::check_alive();
+  *flag = 0;
+  if (c.is_null()) return kErrComm;
+  // No revoked check and no dead-peer reporting: whether a message already
+  // sits in the mailbox is a local question, answerable on a broken world.
+  ProcessState& ps = detail::self();
+  std::lock_guard<std::mutex> lock(ps.mu);
+  for (const Message& m : ps.mailbox) {
+    if (!buffered_match(m, c, src, tag)) continue;
+    *flag = 1;
+    if (status != nullptr) {
+      status->source = m.src_rank;
+      status->tag = m.tag;
+      status->error = kSuccess;
+      status->count = static_cast<int>(m.payload.size());
+    }
+    return kSuccess;
+  }
+  return kSuccess;
+}
+
+int recv_buffered(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+                  Status* status) {
+  detail::check_alive();
+  if (c.is_null()) return kErrComm;
+  ProcessState& ps = detail::self();
+  const CostModel& cm = detail::rt().cost();
+  std::unique_lock<std::mutex> lock(ps.mu);
+  for (auto it = ps.mailbox.begin(); it != ps.mailbox.end(); ++it) {
+    if (!buffered_match(*it, c, src, tag)) continue;
+    Message msg = std::move(*it);
+    ps.mailbox.erase(it);
+    ps.vclock = std::max(ps.vclock, msg.arrive) + cm.recv_overhead;
+    lock.unlock();
+    const std::size_t n = std::min(max_bytes, msg.payload.size());
+    if (n > 0) std::memcpy(buf, msg.payload.data(), n);
+    if (status != nullptr) {
+      status->source = msg.src_rank;
+      status->tag = msg.tag;
+      status->error = msg.payload.size() > max_bytes ? kErrArg : kSuccess;
+      status->count = static_cast<int>(n);
+    }
+    return msg.payload.size() > max_bytes ? kErrArg : kSuccess;
+  }
+  return kErrPending;  // nothing buffered — this variant never blocks
 }
 
 int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,

@@ -10,7 +10,8 @@ namespace ftr::rec {
 using ftr::comb::GridRole;
 
 std::optional<int> rc_partner(const std::vector<GridSlot>& slots, int id) {
-  const auto& slot = slots.at(static_cast<size_t>(id));
+  if (id < 0 || id >= static_cast<int>(slots.size())) return std::nullopt;
+  const auto& slot = slots[static_cast<size_t>(id)];
   switch (slot.role) {
     case GridRole::Duplicate:
       return slot.duplicate_of;
@@ -48,16 +49,19 @@ bool rc_loss_allowed(const std::vector<GridSlot>& slots, const std::vector<int>&
 
 Grid2D recover_by_copy(const Grid2D& source) { return source; }
 
-Grid2D recover_by_resample(const Grid2D& finer, Level target) {
+std::optional<Grid2D> recover_by_resample(const Grid2D& finer, Level target) {
+  if (!ftr::grid::is_refinement(target, finer.level())) return std::nullopt;
   Grid2D out(target);
-  assert(ftr::grid::is_refinement(target, finer.level()));
   ftr::grid::restrict_inject(finer, out);
   return out;
 }
 
-Grid2D rc_recover(const std::vector<GridSlot>& slots, int lost_id, const Grid2D& partner) {
-  const auto& slot = slots.at(static_cast<size_t>(lost_id));
+std::optional<Grid2D> rc_recover(const std::vector<GridSlot>& slots, int lost_id,
+                                 const Grid2D& partner) {
+  if (lost_id < 0 || lost_id >= static_cast<int>(slots.size())) return std::nullopt;
+  const auto& slot = slots[static_cast<size_t>(lost_id)];
   if (slot.role == GridRole::LowerDiagonal) return recover_by_resample(partner, slot.level);
+  if (!(partner.level() == slot.level)) return std::nullopt;
   return recover_by_copy(partner);
 }
 

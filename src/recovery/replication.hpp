@@ -26,7 +26,9 @@ using ftr::grid::Level;
 ///   - a diagonal grid  -> its duplicate (and a duplicate -> its primary);
 ///   - a lower-diagonal -> the diagonal grid one x-level finer
 ///     (paper: 4 from 1, 5 from 2, 6 from 3).
-/// Returns nullopt when the slot has no partner (e.g. extra layers).
+/// Returns nullopt when the slot has no partner (e.g. extra layers) or `id`
+/// is out of range — an error return, never a crash, so planners can treat
+/// RC infeasibility as a fallback signal.
 std::optional<int> rc_partner(const std::vector<GridSlot>& slots, int id);
 
 /// The paper's constraint check: true when no lost grid's recovery partner
@@ -37,10 +39,16 @@ bool rc_loss_allowed(const std::vector<GridSlot>& slots, const std::vector<int>&
 Grid2D recover_by_copy(const Grid2D& source);
 
 /// Approximate recovery by resampling the finer partner down to `target`.
-Grid2D recover_by_resample(const Grid2D& finer, Level target);
+/// Returns nullopt when `target`'s points are not a subset of `finer`'s
+/// (no injection path) instead of asserting.
+std::optional<Grid2D> recover_by_resample(const Grid2D& finer, Level target);
 
 /// Dispatch on the slot role: copy for diagonal/duplicate pairs, resample
 /// for lower-diagonal grids.  `partner` is the partner grid's data.
-Grid2D rc_recover(const std::vector<GridSlot>& slots, int lost_id, const Grid2D& partner);
+/// Returns nullopt when the partner data does not fit the lost slot (level
+/// mismatch for a copy, non-subset levels for a resample) or `lost_id` is
+/// out of range — RC infeasibility is an error return, not a crash.
+std::optional<Grid2D> rc_recover(const std::vector<GridSlot>& slots, int lost_id,
+                                 const Grid2D& partner);
 
 }  // namespace ftr::rec

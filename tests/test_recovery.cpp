@@ -133,10 +133,31 @@ TEST(Replication, CopyIsExact) {
   EXPECT_TRUE(recover_by_copy(g) == g);
 }
 
+TEST(Replication, InfeasibleRequestsReturnEmptyInsteadOfAborting) {
+  // The planner leans on these being error *returns*, not asserts: RC
+  // infeasibility must read as a fallback signal.
+  const Scheme s{6, 3};
+  const auto slots = ftr::comb::build_grid_slots(s, Technique::ResamplingCopying);
+  EXPECT_FALSE(rc_partner(slots, -1).has_value());
+  EXPECT_FALSE(rc_partner(slots, static_cast<int>(slots.size())).has_value());
+
+  // Resampling onto a level that is not a coarsening of the source.
+  Grid2D fine(Level{5, 4});
+  fine.fill([](double x, double y) { return x + y; });
+  EXPECT_FALSE(recover_by_resample(fine, Level{6, 4}).has_value());
+  EXPECT_FALSE(recover_by_resample(fine, Level{4, 5}).has_value());
+
+  // rc_recover with a partner grid at the wrong level (copy path) and an
+  // out-of-range lost id.
+  Grid2D wrong(Level{3, 3});
+  EXPECT_FALSE(rc_recover(slots, 0, wrong).has_value());
+  EXPECT_FALSE(rc_recover(slots, -1, fine).has_value());
+}
+
 TEST(Replication, ResampleHitsSharedPointsExactly) {
   Grid2D fine(Level{5, 4});
   fine.fill([](double x, double y) { return std::sin(3 * x + y); });
-  const Grid2D coarse = recover_by_resample(fine, Level{4, 4});
+  const Grid2D coarse = recover_by_resample(fine, Level{4, 4}).value();
   for (int iy = 0; iy < coarse.ny(); ++iy) {
     for (int ix = 0; ix < coarse.nx(); ++ix) {
       EXPECT_DOUBLE_EQ(coarse.at(ix, iy), fine.at(2 * ix, iy));
@@ -154,7 +175,7 @@ TEST(Replication, ResampledSolverDataDiffersFromNativeCoarseSolve) {
   ftr::advection::SerialSolver coarse(Level{5, 5}, p, dt);
   fine.run(32);
   coarse.run(32);
-  const Grid2D resampled = recover_by_resample(fine.grid(), Level{5, 5});
+  const Grid2D resampled = recover_by_resample(fine.grid(), Level{5, 5}).value();
   double diff = 0;
   for (int iy = 0; iy < resampled.ny(); ++iy) {
     for (int ix = 0; ix < resampled.nx(); ++ix) {
