@@ -75,8 +75,11 @@ void BM_CombineFull(benchmark::State& state) {
     Grid2D combined = ftr::comb::combine_full(s, parts);
     benchmark::DoNotOptimize(combined.data().data());
   }
+  const int64_t n = (1 << s.n) + 1;
+  state.SetItemsProcessed(state.iterations() * n * n *
+                          static_cast<int64_t>(parts.size()));
 }
-BENCHMARK(BM_CombineFull)->Arg(7)->Arg(8);
+BENCHMARK(BM_CombineFull)->Arg(7)->Arg(8)->Arg(9);
 
 void BM_GcpSolve(benchmark::State& state) {
   const Scheme s{13, static_cast<int>(state.range(0))};

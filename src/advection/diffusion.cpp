@@ -9,7 +9,10 @@ using ftr::grid::LocalField;
 
 void ftcs_step(LocalField& f, double rx, double ry) {
   const auto& b = f.block();
-  std::vector<double> next(static_cast<size_t>(b.cells()));
+  // Per-thread persistent scratch: each simulated rank steps on its own
+  // thread, so the buffer is reused allocation-free across steps.
+  thread_local std::vector<double> next;
+  next.resize(static_cast<size_t>(b.cells()));
   size_t k = 0;
   for (int ly = 0; ly < b.height(); ++ly) {
     for (int lx = 0; lx < b.width(); ++lx) {
@@ -37,10 +40,15 @@ void SerialDiffusionSolver::step() {
   const int ny = grid_.ny() - 1;
   LocalField f(ftr::grid::Block{0, nx, 0, ny});
   f.load_from(grid_);
-  f.unpack_halo_column(-1, f.pack_column(nx - 1));
-  f.unpack_halo_column(nx, f.pack_column(0));
-  f.unpack_halo_row(-1, f.pack_row(ny - 1));
-  f.unpack_halo_row(ny, f.pack_row(0));
+  auto& hs = f.halo_scratch();
+  f.pack_column_into(nx - 1, hs.send[0]);
+  f.unpack_halo_column(-1, hs.send[0]);
+  f.pack_column_into(0, hs.send[1]);
+  f.unpack_halo_column(nx, hs.send[1]);
+  f.pack_row_into(ny - 1, hs.send[0]);
+  f.unpack_halo_row(-1, hs.send[0]);
+  f.pack_row_into(0, hs.send[1]);
+  f.unpack_halo_row(ny, hs.send[1]);
   const double rx = problem_.kappa * dt_ / (grid_.hx() * grid_.hx());
   const double ry = problem_.kappa * dt_ / (grid_.hy() * grid_.hy());
   ftcs_step(f, rx, ry);

@@ -1,5 +1,6 @@
 #include "advection/lax_wendroff.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace ftr::advection {
@@ -7,54 +8,103 @@ namespace ftr::advection {
 using ftr::grid::Grid2D;
 using ftr::grid::LocalField;
 
+namespace {
+
+/// Persistent per-thread sweep scratch.  Every simulated MPI rank is a
+/// dedicated thread, so thread_local gives each rank private buffers without
+/// locking; capacity persists across steps, so the hot path stops allocating
+/// after the first step on a given grid size.
+std::vector<double>& sweep_scratch(int which, std::size_t n) {
+  thread_local std::vector<double> rows[3];
+  auto& r = rows[which];
+  if (r.size() < n) r.resize(n);
+  return r;
+}
+
+}  // namespace
+
 void sweep_x(LocalField& f, double courant_x) {
+  // The update at lx needs the *old* values at lx-1, lx, lx+1.  Walking east
+  // with the old center carried as the next point's west neighbor needs no
+  // scratch at all.
   const auto& b = f.block();
-  std::vector<double> row(static_cast<size_t>(b.width()));
-  for (int ly = 0; ly < b.height(); ++ly) {
-    for (int lx = 0; lx < b.width(); ++lx) {
-      row[static_cast<size_t>(lx)] =
-          lw_update(f.at(lx - 1, ly), f.at(lx, ly), f.at(lx + 1, ly), courant_x);
+  const int w = b.width();
+  const int h = b.height();
+  for (int ly = 0; ly < h; ++ly) {
+    double west = f.at(-1, ly);
+    for (int lx = 0; lx < w; ++lx) {
+      const double center = f.at(lx, ly);
+      f.at(lx, ly) = lw_update(west, center, f.at(lx + 1, ly), courant_x);
+      west = center;
     }
-    for (int lx = 0; lx < b.width(); ++lx) f.at(lx, ly) = row[static_cast<size_t>(lx)];
   }
 }
 
 void sweep_y(LocalField& f, double courant_y) {
+  // Row-major traversal (data_ is row-major; the old column-at-a-time loop
+  // strided the whole array once per column).  Two row buffers carry the old
+  // values: `south_old` holds row ly-1 as it was before its update, and
+  // `center_old` snapshots row ly before overwriting it; the north neighbor
+  // row ly+1 is still untouched and is read in place.
   const auto& b = f.block();
-  std::vector<double> col(static_cast<size_t>(b.height()));
-  for (int lx = 0; lx < b.width(); ++lx) {
-    for (int ly = 0; ly < b.height(); ++ly) {
-      col[static_cast<size_t>(ly)] =
-          lw_update(f.at(lx, ly - 1), f.at(lx, ly), f.at(lx, ly + 1), courant_y);
+  const int w = b.width();
+  const int h = b.height();
+  const std::size_t wn = static_cast<std::size_t>(w);
+  auto& south_old = sweep_scratch(0, wn);
+  auto& center_old = sweep_scratch(1, wn);
+  for (int lx = 0; lx < w; ++lx) south_old[static_cast<std::size_t>(lx)] = f.at(lx, -1);
+  for (int ly = 0; ly < h; ++ly) {
+    for (int lx = 0; lx < w; ++lx) center_old[static_cast<std::size_t>(lx)] = f.at(lx, ly);
+    for (int lx = 0; lx < w; ++lx) {
+      f.at(lx, ly) = lw_update(south_old[static_cast<std::size_t>(lx)],
+                               center_old[static_cast<std::size_t>(lx)],
+                               f.at(lx, ly + 1), courant_y);
     }
-    for (int ly = 0; ly < b.height(); ++ly) f.at(lx, ly) = col[static_cast<size_t>(ly)];
+    std::swap(south_old, center_old);
   }
 }
 
 void sweep_x_serial(Grid2D& g, double courant_x) {
   const int n = g.nx() - 1;  // unique points
-  std::vector<double> row(static_cast<size_t>(n));
   for (int iy = 0; iy < g.ny() - 1; ++iy) {
+    // Periodic ring update with carried scalars: row point n-1 is updated
+    // last, so it is still old when point 0 reads it as its west neighbor;
+    // point 0's old value is saved up front for point n-1's east neighbor.
+    const double first_old = g.at(0, iy);
+    double west = g.at(n - 1, iy);
     for (int ix = 0; ix < n; ++ix) {
-      const double w = g.at((ix - 1 + n) % n, iy);
-      const double e = g.at((ix + 1) % n, iy);
-      row[static_cast<size_t>(ix)] = lw_update(w, g.at(ix, iy), e, courant_x);
+      const double center = g.at(ix, iy);
+      const double east = (ix + 1 < n) ? g.at(ix + 1, iy) : first_old;
+      g.at(ix, iy) = lw_update(west, center, east, courant_x);
+      west = center;
     }
-    for (int ix = 0; ix < n; ++ix) g.at(ix, iy) = row[static_cast<size_t>(ix)];
   }
   g.enforce_periodicity();
 }
 
 void sweep_y_serial(Grid2D& g, double courant_y) {
-  const int n = g.ny() - 1;
-  std::vector<double> col(static_cast<size_t>(n));
-  for (int ix = 0; ix < g.nx() - 1; ++ix) {
-    for (int iy = 0; iy < n; ++iy) {
-      const double s = g.at(ix, (iy - 1 + n) % n);
-      const double nn = g.at(ix, (iy + 1) % n);
-      col[static_cast<size_t>(iy)] = lw_update(s, g.at(ix, iy), nn, courant_y);
+  // Row-major with periodic wrap: like sweep_y, plus a saved copy of old
+  // row 0 (already updated by the time row n-1 needs it as north neighbor).
+  // Row n-1 is updated last, so row 0 reads it in place as its south
+  // neighbor via south_old's initial fill.
+  const int n = g.ny() - 1;  // unique rows
+  const int w = g.nx() - 1;  // unique points per row
+  const std::size_t wn = static_cast<std::size_t>(w);
+  auto& south_old = sweep_scratch(0, wn);
+  auto& center_old = sweep_scratch(1, wn);
+  auto& row0_old = sweep_scratch(2, wn);
+  for (int ix = 0; ix < w; ++ix) row0_old[static_cast<std::size_t>(ix)] = g.at(ix, 0);
+  for (int ix = 0; ix < w; ++ix) south_old[static_cast<std::size_t>(ix)] = g.at(ix, n - 1);
+  for (int iy = 0; iy < n; ++iy) {
+    for (int ix = 0; ix < w; ++ix) center_old[static_cast<std::size_t>(ix)] = g.at(ix, iy);
+    const bool last_row = (iy + 1 == n);
+    for (int ix = 0; ix < w; ++ix) {
+      const double north =
+          last_row ? row0_old[static_cast<std::size_t>(ix)] : g.at(ix, iy + 1);
+      g.at(ix, iy) = lw_update(south_old[static_cast<std::size_t>(ix)],
+                               center_old[static_cast<std::size_t>(ix)], north, courant_y);
     }
-    for (int iy = 0; iy < n; ++iy) g.at(ix, iy) = col[static_cast<size_t>(iy)];
+    std::swap(south_old, center_old);
   }
   g.enforce_periodicity();
 }

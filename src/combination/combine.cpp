@@ -3,16 +3,22 @@
 #include <cassert>
 #include <cmath>
 
-#include "grid/sampling.hpp"
+#include "grid/transfer.hpp"
 
 namespace ftr::comb {
 
 Grid2D combine_to(Level target, const std::vector<Component>& parts) {
   Grid2D out(target);
+  std::vector<const Grid2D*> grids;
+  std::vector<double> coeffs;
+  grids.reserve(parts.size());
+  coeffs.reserve(parts.size());
   for (const Component& p : parts) {
     assert(p.grid != nullptr);
-    ftr::grid::accumulate_interpolated(*p.grid, p.coefficient, out);
+    grids.push_back(p.grid);
+    coeffs.push_back(p.coefficient);
   }
+  ftr::grid::transfer_combine(grids.data(), coeffs.data(), grids.size(), out);
   return out;
 }
 

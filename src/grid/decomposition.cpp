@@ -85,15 +85,25 @@ void LocalField::store_to(Grid2D& full) const {
 }
 
 std::vector<double> LocalField::pack_column(int lx) const {
-  std::vector<double> v(static_cast<size_t>(block_.height()));
-  for (int ly = 0; ly < block_.height(); ++ly) v[static_cast<size_t>(ly)] = at(lx, ly);
+  std::vector<double> v;
+  pack_column_into(lx, v);
   return v;
 }
 
 std::vector<double> LocalField::pack_row(int ly) const {
-  std::vector<double> v(static_cast<size_t>(block_.width()));
-  for (int lx = 0; lx < block_.width(); ++lx) v[static_cast<size_t>(lx)] = at(lx, ly);
+  std::vector<double> v;
+  pack_row_into(ly, v);
   return v;
+}
+
+void LocalField::pack_column_into(int lx, std::vector<double>& v) const {
+  v.resize(static_cast<size_t>(block_.height()));
+  for (int ly = 0; ly < block_.height(); ++ly) v[static_cast<size_t>(ly)] = at(lx, ly);
+}
+
+void LocalField::pack_row_into(int ly, std::vector<double>& v) const {
+  v.resize(static_cast<size_t>(block_.width()));
+  for (int lx = 0; lx < block_.width(); ++lx) v[static_cast<size_t>(lx)] = at(lx, ly);
 }
 
 void LocalField::unpack_halo_column(int lx, const std::vector<double>& v) {

@@ -96,16 +96,30 @@ class LocalField {
   void load_from(const Grid2D& full);
   void store_to(Grid2D& full) const;
 
-  /// Pack/unpack one edge of the interior (for halo exchange).
+  /// Pack/unpack one edge of the interior (for halo exchange).  The
+  /// allocating pack_column/pack_row remain for one-off callers; the per-step
+  /// paths use the *_into forms with the field's persistent HaloScratch.
   [[nodiscard]] std::vector<double> pack_column(int lx) const;
   [[nodiscard]] std::vector<double> pack_row(int ly) const;
+  void pack_column_into(int lx, std::vector<double>& v) const;
+  void pack_row_into(int ly, std::vector<double>& v) const;
   void unpack_halo_column(int lx, const std::vector<double>& v);
   void unpack_halo_row(int ly, const std::vector<double>& v);
+
+  /// Persistent pack/recv buffers owned by the field so the per-step halo
+  /// exchange (and the serial periodic wrap) stops allocating.  Buffers are
+  /// resized on first use per direction and reused for the field's lifetime.
+  struct HaloScratch {
+    std::vector<double> send[2];  ///< west/south edge, east/north edge
+    std::vector<double> recv[2];  ///< from west/south, from east/north
+  };
+  [[nodiscard]] HaloScratch& halo_scratch() { return halo_; }
 
  private:
   Block block_{};
   int stride_ = 0;
   std::vector<double> data_;
+  HaloScratch halo_;
 };
 
 }  // namespace ftr::grid

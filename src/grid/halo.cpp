@@ -15,18 +15,24 @@ constexpr int kTagNorth = 104;
 int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
   const int rank = comm.rank();
   const Block& b = f.block();
+  auto& hs = f.halo_scratch();
   if (d.px() == 1) {
     // Periodic wrap within the single owner of every column.
-    f.unpack_halo_column(-1, f.pack_column(b.width() - 1));
-    f.unpack_halo_column(b.width(), f.pack_column(0));
+    f.pack_column_into(b.width() - 1, hs.send[0]);
+    f.unpack_halo_column(-1, hs.send[0]);
+    f.pack_column_into(0, hs.send[1]);
+    f.unpack_halo_column(b.width(), hs.send[1]);
     return ftmpi::kSuccess;
   }
   const int west = d.west(rank);
   const int east = d.east(rank);
 
-  // MPI-idiomatic pattern: post both receives, send both edges, wait.
-  std::vector<double> from_east(static_cast<size_t>(b.height()));
-  std::vector<double> from_west(static_cast<size_t>(b.height()));
+  // MPI-idiomatic pattern: post both receives, send both edges, wait.  All
+  // buffers are the field's persistent scratch; no per-step allocation.
+  auto& from_west = hs.recv[0];
+  auto& from_east = hs.recv[1];
+  from_west.resize(static_cast<size_t>(b.height()));
+  from_east.resize(static_cast<size_t>(b.height()));
   ftmpi::Request reqs[2];
   int rc = ftmpi::irecv(from_east.data(), static_cast<int>(from_east.size()), east,
                         kTagWest, comm, &reqs[0]);
@@ -35,8 +41,10 @@ int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
                     comm, &reqs[1]);
   if (rc != ftmpi::kSuccess) return rc;
 
-  const auto west_edge = f.pack_column(0);
-  const auto east_edge = f.pack_column(b.width() - 1);
+  auto& west_edge = hs.send[0];
+  auto& east_edge = hs.send[1];
+  f.pack_column_into(0, west_edge);
+  f.pack_column_into(b.width() - 1, east_edge);
   rc = ftmpi::send(west_edge.data(), static_cast<int>(west_edge.size()), west, kTagWest,
                    comm);
   if (rc != ftmpi::kSuccess) return rc;
@@ -54,16 +62,21 @@ int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
 int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
   const int rank = comm.rank();
   const Block& b = f.block();
+  auto& hs = f.halo_scratch();
   if (d.py() == 1) {
-    f.unpack_halo_row(-1, f.pack_row(b.height() - 1));
-    f.unpack_halo_row(b.height(), f.pack_row(0));
+    f.pack_row_into(b.height() - 1, hs.send[0]);
+    f.unpack_halo_row(-1, hs.send[0]);
+    f.pack_row_into(0, hs.send[1]);
+    f.unpack_halo_row(b.height(), hs.send[1]);
     return ftmpi::kSuccess;
   }
   const int south = d.south(rank);
   const int north = d.north(rank);
 
-  std::vector<double> from_north(static_cast<size_t>(b.width()));
-  std::vector<double> from_south(static_cast<size_t>(b.width()));
+  auto& from_south = hs.recv[0];
+  auto& from_north = hs.recv[1];
+  from_south.resize(static_cast<size_t>(b.width()));
+  from_north.resize(static_cast<size_t>(b.width()));
   ftmpi::Request reqs[2];
   int rc = ftmpi::irecv(from_north.data(), static_cast<int>(from_north.size()), north,
                         kTagSouth, comm, &reqs[0]);
@@ -72,8 +85,10 @@ int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm) {
                     kTagNorth, comm, &reqs[1]);
   if (rc != ftmpi::kSuccess) return rc;
 
-  const auto south_edge = f.pack_row(0);
-  const auto north_edge = f.pack_row(b.height() - 1);
+  auto& south_edge = hs.send[0];
+  auto& north_edge = hs.send[1];
+  f.pack_row_into(0, south_edge);
+  f.pack_row_into(b.height() - 1, north_edge);
   rc = ftmpi::send(south_edge.data(), static_cast<int>(south_edge.size()), south, kTagSouth,
                    comm);
   if (rc != ftmpi::kSuccess) return rc;

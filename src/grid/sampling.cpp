@@ -2,36 +2,24 @@
 
 #include <cassert>
 
+#include "grid/transfer.hpp"
+
 namespace ftr::grid {
 
 bool is_refinement(Level coarse, Level fine) { return coarse.leq(fine); }
 
 void restrict_inject(const Grid2D& fine, Grid2D& coarse) {
   assert(is_refinement(coarse.level(), fine.level()));
-  const int sx = 1 << (fine.level().x - coarse.level().x);
-  const int sy = 1 << (fine.level().y - coarse.level().y);
-  for (int iy = 0; iy < coarse.ny(); ++iy) {
-    for (int ix = 0; ix < coarse.nx(); ++ix) {
-      coarse.at(ix, iy) = fine.at(ix * sx, iy * sy);
-    }
-  }
+  // Refinement axis maps are exactly injective, so the engine degenerates to
+  // the strided copy the legacy loop performed — without the index
+  // multiplies.
+  transfer(fine, coarse);
 }
 
-void interpolate(const Grid2D& src, Grid2D& dst) {
-  for (int iy = 0; iy < dst.ny(); ++iy) {
-    for (int ix = 0; ix < dst.nx(); ++ix) {
-      dst.at(ix, iy) = src.sample(dst.x_of(ix), dst.y_of(iy));
-    }
-  }
-}
+void interpolate(const Grid2D& src, Grid2D& dst) { transfer(src, dst); }
 
 void accumulate_interpolated(const Grid2D& src, double coefficient, Grid2D& dst) {
-  if (coefficient == 0.0) return;
-  for (int iy = 0; iy < dst.ny(); ++iy) {
-    for (int ix = 0; ix < dst.nx(); ++ix) {
-      dst.at(ix, iy) += coefficient * src.sample(dst.x_of(ix), dst.y_of(iy));
-    }
-  }
+  transfer_accumulate(src, coefficient, dst);
 }
 
 }  // namespace ftr::grid

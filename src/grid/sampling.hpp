@@ -7,6 +7,11 @@
 //     fine points, so restriction is injection);
 //   - the Alternate Combination samples the combined solution at a lost
 //     grid's points (general bilinear interpolation).
+//
+// All three operators are thin wrappers over the separable transfer engine
+// (grid/transfer.hpp): table-driven row kernels with cached per-level-pair
+// axis maps, equivalent to the legacy per-point Grid2D::sample() loop to a
+// few ulps (and exactly, for refinement maps).
 
 #include "grid/grid2d.hpp"
 

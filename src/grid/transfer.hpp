@@ -1,0 +1,85 @@
+#pragma once
+// Separable inter-grid transfer engine.
+//
+// Every grid in the combination technique is dyadic — (2^l + 1) points per
+// axis on the unit square — so bilinear transfer between any two levels
+// factorizes into two independent 1-D axis maps.  An AxisMap tabulates, for
+// each destination index, the left source index and the fractional weight of
+// the right neighbor; the tables are computed once per (src level, dst level)
+// pair and cached for the life of the process.  The row kernels then run
+// table-driven over raw pointers: each destination row first blends its two
+// source rows into a contiguous scratch row (skipped entirely when the y
+// weight is 0 or 1), then gathers along x — no divide, floor or clamp per
+// point, unlike the legacy Grid2D::sample() path.
+//
+// transfer_combine() is the fused form of the combination: it accumulates
+// *all* weighted components into each destination row before moving to the
+// next, so the destination is written exactly once no matter how many
+// components the scheme has (the legacy path re-streamed the full
+// destination grid once per component).
+//
+// Numerics: axis-map construction replays the exact floating-point steps of
+// Grid2D::sample() (x / h, truncate, clamp to n-2), so indices and weights
+// are bitwise identical to the legacy path; only the final blend reassociates
+// the four-corner sum, which perturbs results by at most a few ulps.  For
+// dyadic levels the grid spacings are exact powers of two, so refinement maps
+// come out exactly injective (every weight is exactly 0 or 1).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+
+namespace ftr::grid {
+
+/// 1-D map from a source axis of 2^src_level + 1 points onto a destination
+/// axis of 2^dst_level + 1 points.
+struct AxisMap {
+  int src_level = 0;
+  int dst_level = 0;
+  int src_n = 0;  ///< 2^src_level + 1
+  int dst_n = 0;  ///< 2^dst_level + 1
+  /// Per destination index: left source index, always <= src_n - 2.
+  std::vector<int> i0;
+  /// Per destination index: weight of the right source neighbor in [0, 1].
+  std::vector<double> w;
+  /// True when every weight is exactly 0 or 1 (pure index gather — the
+  /// destination points are a subset of the source points).
+  bool injective = false;
+  /// When injective: the exact source index per destination index (i0
+  /// adjusted by the 0/1 weight), so restriction needs no arithmetic at all.
+  std::vector<int> gather;
+};
+
+/// Cached lookup: built on first use of a (src, dst) level pair, then shared.
+/// The returned reference is stable for the life of the process (the cache
+/// stores each map behind a unique_ptr and never evicts).  Thread-safe.
+const AxisMap& axis_map(int src_level, int dst_level);
+
+/// Cache observability (for tests and benches).
+struct AxisMapCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+AxisMapCacheStats axis_map_cache_stats();
+/// Test hook: drop all cached maps and reset the counters.  Must not be
+/// called concurrently with transfers that hold AxisMap references.
+void axis_map_cache_clear();
+
+/// dst <- I(src): table-driven bilinear transfer (replaces the per-point
+/// sample() loop of the legacy interpolate()).
+void transfer(const Grid2D& src, Grid2D& dst);
+
+/// dst += coefficient * I(src).  No-op when coefficient == 0.
+void transfer_accumulate(const Grid2D& src, double coefficient, Grid2D& dst);
+
+/// Fused combination: dst <- sum_k coeffs[k] * I(*srcs[k]), accumulating all
+/// components into each destination row in a single pass over dst.  Produces
+/// the same point values (and the same summation order over k) as calling
+/// transfer_accumulate() sequentially on a zeroed destination.
+void transfer_combine(const Grid2D* const* srcs, const double* coeffs,
+                      std::size_t count, Grid2D& dst);
+
+}  // namespace ftr::grid

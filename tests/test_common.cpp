@@ -3,11 +3,15 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/cli.hpp"
+#include "common/crc32.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -129,4 +133,65 @@ TEST(Logging, EnabledRespectsThreshold) {
   EXPECT_FALSE(log.enabled(LogLevel::Debug));
   EXPECT_TRUE(log.enabled(LogLevel::Error));
   log.set_level(saved);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (slicing-by-8): known-answer vectors and equivalence with a plain
+// bytewise reference, so stored checkpoint/buddy CRCs stay compatible.
+
+namespace {
+
+/// Bytewise reference implementation (the pre-slicing-by-8 loop).
+std::uint32_t crc32_bytewise(const void* data, std::size_t n, std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+TEST(Crc32, KnownAnswerVectors) {
+  // RFC 3720 appendix / zlib's documented CRC-32 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc", 3), 0x352441C2u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog", 43), 0x414FA339u);
+}
+
+TEST(Crc32, MatchesBytewiseReferenceAtAllLengths) {
+  // Exercise every tail length around the 8-byte slicing boundary, plus a
+  // payload-sized buffer, from every small offset (alignment independence).
+  std::vector<unsigned char> buf(4096);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>((i * 131 + 89) & 0xFF);
+  }
+  for (size_t off = 0; off < 9; ++off) {
+    for (size_t n : {0ul, 1ul, 7ul, 8ul, 9ul, 15ul, 16ul, 17ul, 63ul, 64ul, 1000ul, 4000ul}) {
+      if (off + n > buf.size()) continue;
+      EXPECT_EQ(crc32(buf.data() + off, n), crc32_bytewise(buf.data() + off, n))
+          << "offset " << off << " length " << n;
+    }
+  }
+}
+
+TEST(Crc32, IncrementalChainingMatchesWholeBuffer) {
+  std::vector<unsigned char> buf(1537);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<unsigned char>(i * 7);
+  const std::uint32_t whole = crc32(buf.data(), buf.size());
+  for (size_t split : {1ul, 8ul, 9ul, 512ul, 1536ul}) {
+    const std::uint32_t part = crc32(buf.data(), split);
+    EXPECT_EQ(crc32(buf.data() + split, buf.size() - split, part), whole)
+        << "split at " << split;
+  }
 }

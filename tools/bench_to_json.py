@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into the BENCH_micro.json format and
+gate perf regressions against a committed baseline.
+
+Typical flow (what the CI perf job runs):
+
+    build/bench/bench_micro    --benchmark_format=json > out/micro.raw.json
+    build/bench/bench_transfer --benchmark_format=json > out/transfer.raw.json
+    tools/bench_to_json.py out/micro.raw.json out/transfer.raw.json \
+        -o out/BENCH_micro.json --baseline BENCH_micro.json --max-regression 0.25
+
+The output schema keeps one entry per kernel:
+
+    {"schema": 1,
+     "kernels": {"BM_CombineFull/9": {"items_per_second": 1.2e9,
+                                      "real_time_ns": 1.5e6}, ...}}
+
+With --baseline, every kernel present in both files is compared on
+items_per_second; any kernel slower than (1 - max_regression) x baseline
+fails the run (exit 1).  Kernels new to this run are reported but never
+fail.  To refresh the committed baseline after an intentional change, copy
+the generated file over BENCH_micro.json at the repo root.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_raw(path):
+    """Extract {name: {items_per_second, real_time_ns}} from one
+    google-benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    kernels = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        entry = {}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = b["bytes_per_second"]
+        time = b.get("real_time")
+        if time is not None:
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+            entry["real_time_ns"] = time * scale
+        # Kernels that report no throughput counter are still tracked by
+        # inverse time so the regression gate covers them.
+        if "items_per_second" not in entry and "real_time_ns" in entry and entry["real_time_ns"] > 0:
+            entry["items_per_second"] = 1e9 / entry["real_time_ns"]
+        kernels[name] = entry
+    return kernels
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("raw", nargs="+", help="google-benchmark JSON files")
+    ap.add_argument("-o", "--output", required=True, help="merged BENCH json to write")
+    ap.add_argument("--baseline", help="committed BENCH json to compare against")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="fail when items/sec drops more than this fraction (default 0.25)")
+    args = ap.parse_args()
+
+    kernels = {}
+    for path in args.raw:
+        kernels.update(load_raw(path))
+    if not kernels:
+        print("error: no benchmarks found in input files", file=sys.stderr)
+        return 1
+
+    out = {"schema": 1, "kernels": kernels}
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output} ({len(kernels)} kernels)")
+
+    if not args.baseline:
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f).get("kernels", {})
+    except FileNotFoundError:
+        print(f"baseline {args.baseline} not found; skipping regression gate")
+        return 0
+
+    failures = []
+    width = max((len(n) for n in kernels), default=0)
+    for name in sorted(kernels):
+        cur = kernels[name].get("items_per_second")
+        ref = base.get(name, {}).get("items_per_second")
+        if cur is None:
+            continue
+        if ref is None or ref <= 0:
+            print(f"  {name:<{width}}  {cur:14.3e} items/s  (new kernel)")
+            continue
+        ratio = cur / ref
+        flag = ""
+        if ratio < 1.0 - args.max_regression:
+            flag = "  << REGRESSION"
+            failures.append((name, ratio))
+        print(f"  {name:<{width}}  {cur:14.3e} items/s  {ratio:6.2f}x baseline{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} kernel(s) regressed more than "
+              f"{args.max_regression:.0%} vs {args.baseline}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"regression gate passed (threshold {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

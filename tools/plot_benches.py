@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Plot the bench CSVs as paper-style figures.
+"""Plot the bench CSVs as paper-style figures, and BENCH_micro.json files as
+a kernel-throughput trajectory.
 
 Each bench binary accepts --csv=<path>; run them first, e.g.:
 
@@ -11,6 +12,13 @@ Each bench binary accepts --csv=<path>; run them first, e.g.:
 then:
 
     tools/plot_benches.py out/*.csv -o out/
+
+JSON arguments are treated as BENCH_micro.json snapshots (see
+tools/bench_to_json.py).  Passing several — e.g. the committed baseline plus
+the current run — draws one grouped bar per kernel so the throughput
+trajectory across commits is visible at a glance:
+
+    tools/plot_benches.py BENCH_micro.json out/BENCH_micro.json -o out/
 
 Figures are drawn with matplotlib when available; otherwise the script
 prints the parsed tables so the data is still inspectable.
@@ -80,11 +88,65 @@ def plot_file(path, outdir, plt):
     print(f"wrote {out}")
 
 
+def read_bench_json(path):
+    """Return {kernel: items_per_second} from a BENCH_micro.json snapshot."""
+    import json
+
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        name: entry.get("items_per_second", float("nan"))
+        for name, entry in doc.get("kernels", {}).items()
+    }
+
+
+def print_bench_json(paths):
+    snaps = [(p, read_bench_json(p)) for p in paths]
+    kernels = sorted({k for _, s in snaps for k in s})
+    width = max(len(k) for k in kernels) if kernels else 0
+    print("kernel".ljust(width) + "".join(f"\t{os.path.basename(p)}" for p, _ in snaps))
+    for k in kernels:
+        print(k.ljust(width) + "".join(f"\t{s.get(k, float('nan')):.3e}" for _, s in snaps))
+
+
+def plot_bench_json(paths, outdir, plt):
+    """Grouped bars: one group per kernel, one bar per snapshot, log items/sec.
+    With the committed baseline plus one or more later runs this reads as the
+    per-kernel throughput trajectory."""
+    snaps = [(os.path.basename(p), read_bench_json(p)) for p in paths]
+    kernels = sorted({k for _, s in snaps for k in s})
+    if not kernels:
+        print("no kernels found in BENCH json inputs, skipped")
+        return
+    nsnap = len(snaps)
+    bar_w = 0.8 / nsnap
+    fig, ax = plt.subplots(figsize=(max(7, 0.5 * len(kernels)), 4.5))
+    for j, (label, snap) in enumerate(snaps):
+        xs = [i + (j - (nsnap - 1) / 2.0) * bar_w for i in range(len(kernels))]
+        ys = [snap.get(k, float("nan")) for k in kernels]
+        ax.bar(xs, ys, width=bar_w, label=label)
+    ax.set_xticks(range(len(kernels)))
+    ax.set_xticklabels(kernels, rotation=60, ha="right", fontsize=7)
+    ax.set_yscale("log")
+    ax.set_ylabel("items / second")
+    ax.set_title("micro-kernel throughput trajectory")
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(outdir, "bench_micro_trajectory.png")
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csvs", nargs="+", help="CSV files produced by the benches")
+    ap.add_argument("inputs", nargs="+",
+                    help="CSV files produced by the benches and/or BENCH_micro.json snapshots")
     ap.add_argument("-o", "--outdir", default=".", help="output directory for PNGs")
     args = ap.parse_args()
+
+    csvs = [p for p in args.inputs if not p.endswith(".json")]
+    jsons = [p for p in args.inputs if p.endswith(".json")]
 
     try:
         import matplotlib
@@ -93,18 +155,22 @@ def main():
         import matplotlib.pyplot as plt
     except ImportError:
         print("matplotlib not available; printing tables instead\n")
-        for path in args.csvs:
+        for path in csvs:
             header, data = read_csv(path)
             print(f"== {path}")
             print("\t".join(header))
             for row in data:
                 print("\t".join(row))
             print()
+        if jsons:
+            print_bench_json(jsons)
         return 0
 
     os.makedirs(args.outdir, exist_ok=True)
-    for path in args.csvs:
+    for path in csvs:
         plot_file(path, args.outdir, plt)
+    if jsons:
+        plot_bench_json(jsons, args.outdir, plt)
     return 0
 
 
