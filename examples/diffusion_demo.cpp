@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     ftmpi::Comm& w = ftmpi::world();
     const int grid_id = layout.grid_of_rank(w.rank());
     ftmpi::Comm gcomm;
-    ftmpi::comm_split(w, grid_id, w.rank(), &gcomm);
+    (void)ftmpi::comm_split(w, grid_id, w.rank(), &gcomm);
 
     advection::ParallelDiffusionSolver solver(
         layout.slots[static_cast<size_t>(grid_id)].level, problem, dt, gcomm);
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     solver.gather_full(&full);
     constexpr int kTag = 321;
     if (gcomm.rank() == 0 && w.rank() != 0) {
-      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()), 0,
+      (void)ftmpi::send(full.data().data(), static_cast<int>(full.data().size()), 0,
                   kTag + grid_id, w);
     }
     if (w.rank() == 0) {
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       grids.emplace(0, std::move(full));
       for (int g = 1; g < layout.num_grids(); ++g) {
         Grid2D other(layout.slots[static_cast<size_t>(g)].level);
-        ftmpi::recv(other.data().data(), static_cast<int>(other.data().size()),
+        (void)ftmpi::recv(other.data().data(), static_cast<int>(other.data().size()),
                     layout.root_rank_of_grid(g), kTag + g, w);
         grids.emplace(g, std::move(other));
       }
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
       ftmpi::runtime().put("t", t);
       ftmpi::runtime().put("decay", problem.exact(0.25, 0.25, t) / problem.initial(0.25, 0.25));
     }
-    ftmpi::barrier(w);
+    (void)ftmpi::barrier(w);
   });
   rt.run("diffusion", layout.total_procs);
 

@@ -42,7 +42,7 @@ int main() {
       const auto res = recon.reconstruct({});
       say("  [child pid=%d] respawned on host %d, re-seated at rank %d of %d\n",
           self_pid(), runtime().host_of(self_pid()), res.comm.rank(), res.comm.size());
-      barrier(res.comm);
+      (void)barrier(res.comm);
       return;
     }
     Comm w = world();
@@ -50,7 +50,7 @@ int main() {
       say("step 0: a communicator with global size %d (hosts of %d slots)\n", w.size(),
           runtime().slots_per_host());
     }
-    barrier(w);
+    (void)barrier(w);
     if (w.rank() == 3 || w.rank() == 5) {
       say("step 1: rank %d (pid %d, host %d) fails\n", w.rank(), self_pid(),
           runtime().host_of(self_pid()));
@@ -71,7 +71,7 @@ int main() {
     }
     say("  [survivor pid=%d] rank %d -> %d (size %d -> %d)\n", self_pid(), w.rank(),
         res.comm.rank(), w.size(), res.comm.size());
-    barrier(res.comm);
+    (void)barrier(res.comm);
   });
 
   rt.run("demo", 7);

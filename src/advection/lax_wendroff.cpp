@@ -1,4 +1,5 @@
 #include "advection/lax_wendroff.hpp"
+#include "common/annotations.hpp"
 
 #include <utility>
 #include <vector>
@@ -17,13 +18,14 @@ namespace {
 std::vector<double>& sweep_scratch(int which, std::size_t n) {
   thread_local std::vector<double> rows[3];
   auto& r = rows[which];
+  // ftlint:allow(FTL003 warm-up growth of persistent thread_local scratch)
   if (r.size() < n) r.resize(n);
   return r;
 }
 
 }  // namespace
 
-void sweep_x(LocalField& f, double courant_x) {
+FTR_HOT void sweep_x(LocalField& f, double courant_x) {
   // The update at lx needs the *old* values at lx-1, lx, lx+1.  Walking east
   // with the old center carried as the next point's west neighbor needs no
   // scratch at all.
@@ -40,7 +42,7 @@ void sweep_x(LocalField& f, double courant_x) {
   }
 }
 
-void sweep_y(LocalField& f, double courant_y) {
+FTR_HOT void sweep_y(LocalField& f, double courant_y) {
   // Row-major traversal (data_ is row-major; the old column-at-a-time loop
   // strided the whole array once per column).  Two row buffers carry the old
   // values: `south_old` holds row ly-1 as it was before its update, and
@@ -64,7 +66,7 @@ void sweep_y(LocalField& f, double courant_y) {
   }
 }
 
-void sweep_x_serial(Grid2D& g, double courant_x) {
+FTR_HOT void sweep_x_serial(Grid2D& g, double courant_x) {
   const int n = g.nx() - 1;  // unique points
   for (int iy = 0; iy < g.ny() - 1; ++iy) {
     // Periodic ring update with carried scalars: row point n-1 is updated
@@ -82,7 +84,7 @@ void sweep_x_serial(Grid2D& g, double courant_x) {
   g.enforce_periodicity();
 }
 
-void sweep_y_serial(Grid2D& g, double courant_y) {
+FTR_HOT void sweep_y_serial(Grid2D& g, double courant_y) {
   // Row-major with periodic wrap: like sweep_y, plus a saved copy of old
   // row 0 (already updated by the time row n-1 needs it as north neighbor).
   // Row n-1 is updated last, so row 0 reads it in place as its south

@@ -12,12 +12,13 @@
 // exchange one column/row wide.
 
 #include "grid/decomposition.hpp"
+#include "common/annotations.hpp"
 #include "grid/grid2d.hpp"
 
 namespace ftr::advection {
 
 /// One 1D Lax-Wendroff update.
-[[nodiscard]] inline double lw_update(double west, double center, double east, double c) {
+FTR_HOT [[nodiscard]] inline double lw_update(double west, double center, double east, double c) {
   return center - 0.5 * c * (east - west) + 0.5 * c * c * (east - 2.0 * center + west);
 }
 

@@ -1,0 +1,30 @@
+#pragma once
+// Repo-wide attribute macros.  These are the anchors the static checker
+// (tools/ftlint) keys on, so the invariants they mark are machine-checked:
+//
+//   FTR_NODISCARD  error-returning API.  Every call site must observe the
+//                  result (assign, compare, return, or pass it on) — ftlint
+//                  rule FTL001.  Expands to [[nodiscard]] so the compiler
+//                  flags plain discards too; ftlint additionally flags
+//                  `(void)` casts that dodge the compiler.
+//
+//   FTR_HOT        allocation-free hot-path kernel.  The function and
+//                  everything it (transitively) calls must not allocate —
+//                  no new/malloc, no container growth — ftlint rule FTL003.
+//                  Expands to the compiler's hot-placement attribute where
+//                  available.
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(nodiscard)
+#define FTR_NODISCARD [[nodiscard]]
+#endif
+#endif
+#ifndef FTR_NODISCARD
+#define FTR_NODISCARD
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FTR_HOT [[gnu::hot]]
+#else
+#define FTR_HOT
+#endif

@@ -12,6 +12,7 @@
 // zlib's CRC-32 check value).
 
 #include <array>
+#include "common/annotations.hpp"
 #include <cstddef>
 #include <cstdint>
 
@@ -38,7 +39,7 @@ inline constexpr std::array<std::array<std::uint32_t, 256>, 8> crc32_tables() {
 }
 
 /// Endian-safe little-endian 32-bit load (compiles to a plain load on LE).
-inline std::uint32_t crc32_load_le(const unsigned char* p) {
+FTR_HOT inline std::uint32_t crc32_load_le(const unsigned char* p) {
   return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
@@ -47,7 +48,7 @@ inline std::uint32_t crc32_load_le(const unsigned char* p) {
 }  // namespace detail
 
 /// Incremental CRC-32: pass the previous result as `seed` to chain buffers.
-inline std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0) {
+FTR_HOT inline std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0) {
   static constexpr auto t = detail::crc32_tables();
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFu;

@@ -8,6 +8,7 @@
 
 #include "advection/serial_solver.hpp"
 #include "combination/combine.hpp"
+#include "common/errors.hpp"
 #include "common/logging.hpp"
 #include "recovery/alternate.hpp"
 #include "grid/sampling.hpp"
@@ -241,7 +242,9 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
     // communicator so group mates blocked in halo exchange learn of it and
     // reach the detection point too (otherwise they would wait forever on a
     // survivor that has already left the solve loop).
-    if (step_rc != kSuccess && !st.gcomm.is_null()) ftmpi::comm_revoke(st.gcomm);
+    if (step_rc != kSuccess && !st.gcomm.is_null()) {
+      ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.cr.revoke");
+    }
 
     // Detection is tested before the checkpoint write (paper Sec. III).
     const auto res = st.recon.reconstruct(st.world);
@@ -265,8 +268,9 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
                     pack_interior(st.solver->field()));
     }
     // A chaos kill inside the write surfaces here (or at the next solve);
-    // the next detection point repairs and the grid rolls back.
-    ftmpi::barrier(st.world);
+    // the next detection point repairs and the grid rolls back, so a failed
+    // barrier is tolerated rather than acted on.
+    ftr::observe_error(ftmpi::barrier(st.world), "ft_app.ckpt.barrier");
     if (st.wrank == 0) st.ckpt_write_total += ftmpi::wtime() - tw;
   }
 }
@@ -277,7 +281,9 @@ void FtApp::run_combination_technique(RankState& st) {
   st.solve_time += ftmpi::wtime() - t0;
   // Revoke the group communicator on error so blocked group mates also
   // reach the detection point (see run_checkpoint_restart_from).
-  if (step_rc != kSuccess && !st.gcomm.is_null()) ftmpi::comm_revoke(st.gcomm);
+  if (step_rc != kSuccess && !st.gcomm.is_null()) {
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.ct.revoke");
+  }
 
   // Single detection point at the end, before the combination (paper).
   const auto res = st.recon.reconstruct(st.world);
@@ -342,10 +348,21 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
     lost_ids.assign(lost.begin(), lost.end());
     header[1] = static_cast<long>(lost_ids.size());
   }
-  ftmpi::bcast(header, 2, 0, st.world);
+  int brc = ftmpi::bcast(header, 2, 0, st.world);
+  if (brc != kSuccess) {
+    // A failure inside the run-state broadcast means the repaired world is
+    // already broken again; bail and let the next detection point replan
+    // rather than fast-forwarding from a garbage header.
+    FTR_WARN("ft_app: post-repair state bcast failed (%s)", ftmpi::error_string(brc));
+    return;
+  }
   lost_ids.resize(static_cast<size_t>(header[1]));
   if (header[1] > 0) {
-    ftmpi::bcast(lost_ids.data(), static_cast<int>(lost_ids.size()), 0, st.world);
+    brc = ftmpi::bcast(lost_ids.data(), static_cast<int>(lost_ids.size()), 0, st.world);
+    if (brc != kSuccess) {
+      FTR_WARN("ft_app: post-repair lost-id bcast failed (%s)", ftmpi::error_string(brc));
+      return;
+    }
   }
   st.bcast_interval = header[0];
   for (long id : lost_ids) st.real_lost_grids.insert(static_cast<int>(id));
@@ -381,11 +398,11 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
   //    marks them Gcp/Idle and the GCP combination absorbs them, while
   //    every rank still runs the delimiting barriers.
   std::vector<int> lost(lost_ids.begin(), lost_ids.end());
-  ftmpi::barrier(st.world);
+  ftr::observe_error(ftmpi::barrier(st.world), "ft_app.recovery.barrier");
   const double t0 = ftmpi::wtime();
   restore_lost_grids(st, lost, interval_target(header[0]),
                      /*charge_gcp_coeffs=*/planner_mode() == ftr::rec::PlannerMode::Lattice);
-  ftmpi::barrier(st.world);
+  ftr::observe_error(ftmpi::barrier(st.world), "ft_app.recovery.barrier");
   if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
 }
 
@@ -405,7 +422,8 @@ void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target)
   int group_step = my_step;
   int rc = ftmpi::allreduce(&my_step, &group_step, 1, ftmpi::ReduceOp::Min, st.gcomm);
   if (rc != kSuccess) {
-    ftmpi::comm_revoke(st.gcomm);  // next detection point repairs
+    // Next detection point repairs.
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.cr.revoke");
     return;
   }
   if (group_step >= 0 && snap.has_value() && snap->step != group_step) {
@@ -415,7 +433,7 @@ void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target)
   int all_have = have;
   rc = ftmpi::allreduce(&have, &all_have, 1, ftmpi::ReduceOp::Min, st.gcomm);
   if (rc != kSuccess) {
-    ftmpi::comm_revoke(st.gcomm);
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.cr.revoke");
     return;
   }
   if (all_have == 1) {
@@ -428,7 +446,7 @@ void FtApp::cr_restore(RankState& st, const std::vector<int>& lost, long target)
   const int solve_rc = solve_to(st, target);
   if (solve_rc != kSuccess) {
     FTR_WARN("ft_app: failure during CR recompute (rank %d)", st.wrank);
-    ftmpi::comm_revoke(st.gcomm);
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.cr.revoke");
   }
 }
 
@@ -447,16 +465,27 @@ void FtApp::rc_restore_one(RankState& st, int lost_id, int partner, long target)
     Grid2D full;
     if (st.solver->gather_full(&full) != kSuccess) return;
     if (st.gcomm.rank() == 0) {
-      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
-                  layout_.root_rank_of_grid(lost_id), kTagPartner + lost_id, st.world);
+      // A failed ship means the lost-grid root died again; its group revokes
+      // and the next detection point replans, so the send error is tolerated.
+      ftr::observe_error(
+          ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
+                      layout_.root_rank_of_grid(lost_id), kTagPartner + lost_id, st.world),
+          "ft_app.rc.ship");
     }
   }
   if (st.grid == lost_id) {
     Grid2D recovered;
     if (st.gcomm.rank() == 0) {
       Grid2D partner_grid(p_level);
-      ftmpi::recv(partner_grid.data().data(), static_cast<int>(partner_grid.data().size()),
-                  layout_.root_rank_of_grid(partner), kTagPartner + lost_id, st.world);
+      const int rrc =
+          ftmpi::recv(partner_grid.data().data(), static_cast<int>(partner_grid.data().size()),
+                      layout_.root_rank_of_grid(partner), kTagPartner + lost_id, st.world);
+      if (rrc != kSuccess) {
+        // Dead partner root: revoke so the next detection point replans;
+        // proceed with the zeroed grid to keep the group's scatter uniform.
+        FTR_WARN("ft_app: RC fetch for grid %d failed (%s)", lost_id, ftmpi::error_string(rrc));
+        ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.rc.revoke");
+      }
       auto rec = ftr::rec::rc_recover(layout_.slots, lost_id, partner_grid);
       if (rec.has_value()) {
         recovered = std::move(*rec);
@@ -491,7 +520,11 @@ void FtApp::buddy_restore_one(RankState& st, int grid, long step, long target) {
     }
     const auto buf = ftr::rec::pack_replica(
         grid, gr, step, rep.has_value() ? rep->data : std::vector<double>{});
-    ftmpi::send_bytes(buf.data(), buf.size(), owner, ftr::rec::kTagBuddyFetch, st.world);
+    // A failed ship means the owner died again; its group revokes and the
+    // next detection point replans, so the send error is tolerated here.
+    ftr::observe_error(
+        ftmpi::send_bytes(buf.data(), buf.size(), owner, ftr::rec::kTagBuddyFetch, st.world),
+        "ft_app.buddy.ship");
   }
   if (st.grid != grid || !st.solver) return;
   const int holder = ftr::rec::buddy_rank_of(topo, st.wrank);
@@ -509,14 +542,14 @@ void FtApp::buddy_restore_one(RankState& st, int grid, long step, long target) {
     // the restore; the next detection point repairs and replans.
     FTR_WARN("ft_app: buddy fetch for grid %d failed on rank %d (%s)", grid, st.wrank,
              ftmpi::error_string(rc));
-    ftmpi::comm_revoke(st.gcomm);
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.buddy.revoke");
     return;
   }
   unpack_interior(msg->data, st.solver->field());
   st.solver->set_steps_done(step);
   if (solve_to(st, target) != kSuccess) {
     FTR_WARN("ft_app: failure during buddy recompute (rank %d)", st.wrank);
-    ftmpi::comm_revoke(st.gcomm);
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.buddy.revoke");
   }
 }
 
@@ -529,8 +562,14 @@ void FtApp::buddy_tick(RankState& st) {
   // nonblocking eager send charges only its injection overhead, so the
   // replication overlaps the next timesteps.
   ftr::rec::buddy_drain(*buddy_, st.world);
-  ftr::rec::buddy_send(st.btopo, st.world, st.grid, st.gcomm.rank(), s,
-                       pack_interior(st.solver->field()));
+  const int brc = ftr::rec::buddy_send(st.btopo, st.world, st.grid, st.gcomm.rank(), s,
+                                       pack_interior(st.solver->field()));
+  if (brc != kSuccess) {
+    // The replica did not land: the planner's buddy rung will see this
+    // generation as unavailable at restore time, so surface it now.
+    FTR_WARN("ft_app: buddy replication of grid %d step %ld failed on rank %d (%s)", st.grid,
+             s, st.wrank, ftmpi::error_string(brc));
+  }
   if (st.wrank == 0) st.buddy_repl_time += ftmpi::wtime() - t0;
 }
 
@@ -756,10 +795,10 @@ void FtApp::recovery_and_combine(RankState& st) {
 
   // --- simulated-loss recovery (Figs. 9 and 10 mode) -----------------------
   if (!sim.empty()) {
-    ftmpi::barrier(st.world);
+    ftr::observe_error(ftmpi::barrier(st.world), "ft_app.sim.barrier");
     const double t0 = ftmpi::wtime();
     restore_lost_grids(st, sim, cfg_.timesteps, /*charge_gcp_coeffs=*/true);
-    ftmpi::barrier(st.world);
+    ftr::observe_error(ftmpi::barrier(st.world), "ft_app.sim.barrier");
     if (st.wrank == 0) st.recovery_time += ftmpi::wtime() - t0;
   }
 
@@ -770,7 +809,7 @@ void FtApp::recovery_and_combine(RankState& st) {
   // (AC's deliberate choice, and every technique's shrink-mode fallback).
   const std::set<int> lost_now = st.unrestored;
 
-  ftmpi::barrier(st.world);
+  ftr::observe_error(ftmpi::barrier(st.world), "ft_app.combine.barrier");
   const double t_comb = ftmpi::wtime();
   std::map<int, Grid2D> rank0_grids;      // world rank 0 only
   std::map<int, Grid2D> rank0_recovered;  // world rank 0 only
@@ -804,8 +843,14 @@ void FtApp::recovery_and_combine(RankState& st) {
     Grid2D full;
     if (st.solver->gather_full(&full) != kSuccess) continue;
     if (st.gcomm.rank() == 0 && st.wrank != 0) {
-      ftmpi::send(full.data().data(), static_cast<int>(full.data().size()), 0,
-                  kTagGridToRoot + gid, st.world);
+      const int src_rc = ftmpi::send(full.data().data(), static_cast<int>(full.data().size()),
+                                     0, kTagGridToRoot + gid, st.world);
+      if (src_rc != kSuccess) {
+        // World rank 0 gone this late means no combined report at all;
+        // nothing useful to do beyond surfacing it.
+        FTR_WARN("ft_app: combination ship of grid %d failed (%s)", gid,
+                 ftmpi::error_string(src_rc));
+      }
     } else if (st.wrank == 0) {
       rank0_grids[gid] = std::move(full);  // rank 0 is grid 0's root
     }
@@ -822,8 +867,14 @@ void FtApp::recovery_and_combine(RankState& st) {
         // rank to its shrunken-communicator rank.
         const int orig_root = layout_.root_rank_of_grid(gid);
         const int src = st.degraded ? st.dview.new_rank_of(orig_root) : orig_root;
-        ftmpi::recv(g.data().data(), static_cast<int>(g.data().size()), src,
-                    kTagGridToRoot + gid, st.world);
+        const int crc = ftmpi::recv(g.data().data(), static_cast<int>(g.data().size()), src,
+                                    kTagGridToRoot + gid, st.world);
+        if (crc != kSuccess) {
+          // The contributor died after the last detection point; its slot
+          // stays zeroed and the combination degrades rather than hangs.
+          FTR_WARN("ft_app: combination input from grid %d missing (%s)", gid,
+                   ftmpi::error_string(crc));
+        }
         it = rank0_grids.emplace(gid, std::move(g)).first;
       }
       parts.push_back(ftr::comb::Component{&it->second, coeff});
@@ -847,8 +898,12 @@ void FtApp::recovery_and_combine(RankState& st) {
         if (layout_.root_rank_of_grid(gid) == 0) {
           rank0_recovered[gid] = std::move(rec);
         } else {
-          ftmpi::send(rec.data().data(), static_cast<int>(rec.data().size()),
-                      layout_.root_rank_of_grid(gid), kTagRecovered + gid, st.world);
+          // Failed push-back: the lost group revokes on its matching recv
+          // error and the next detection point replans.
+          ftr::observe_error(
+              ftmpi::send(rec.data().data(), static_cast<int>(rec.data().size()),
+                          layout_.root_rank_of_grid(gid), kTagRecovered + gid, st.world),
+              "ft_app.ac.scatter");
         }
       }
       if (st.grid == gid) {
@@ -857,8 +912,14 @@ void FtApp::recovery_and_combine(RankState& st) {
           if (st.wrank == 0) {
             rec = std::move(rank0_recovered[gid]);
           } else {
-            ftmpi::recv(rec.data().data(), static_cast<int>(rec.data().size()), 0,
-                        kTagRecovered + gid, st.world);
+            const int arc = ftmpi::recv(rec.data().data(), static_cast<int>(rec.data().size()),
+                                        0, kTagRecovered + gid, st.world);
+            if (arc != kSuccess) {
+              // Keep the group's scatter uniform with zeroed data; the run is
+              // ending, so there is no later detection point to lean on.
+              FTR_WARN("ft_app: recovered-data fetch for grid %d failed (%s)", gid,
+                       ftmpi::error_string(arc));
+            }
           }
         }
         st.solver->scatter_full(rec);
@@ -867,7 +928,7 @@ void FtApp::recovery_and_combine(RankState& st) {
     }
   }
 
-  ftmpi::barrier(st.world);
+  ftr::observe_error(ftmpi::barrier(st.world), "ft_app.combine.barrier");
 
   // --- final report (rank 0) -------------------------------------------------
   if (st.wrank == 0) {

@@ -1,0 +1,58 @@
+#pragma once
+// Scope guards for raw MPI compat handles.
+//
+// The fault-tolerance invariant FTL002 (see docs/ARCHITECTURE.md, "Enforced
+// invariants") forbids owning a raw MPI_Comm/MPI_Request/MPI_Info across an
+// early return with a manual `*_free`: one missed path leaks the handle —
+// the exact bug class the repair loop's restartable passes kept hitting
+// before PR 1 introduced these guards.  Own the handle through a guard and
+// every return path frees it; `release()` hands it to the caller when a
+// pass succeeds.
+
+#include "common/errors.hpp"
+#include "ftmpi/mpi_compat.hpp"
+
+namespace ftr::core {
+
+/// Owns an intermediate communicator of one repair pass (shrunken,
+/// temp_intercomm, unorder_intracomm): freed on all paths unless
+/// release()d into the result.
+class CommGuard {
+ public:
+  explicit CommGuard(ftmpi::compat::MPI_Comm* c) : c_(c) {}
+  ~CommGuard() {
+    if (c_ != nullptr) ftr::observe_error(ftmpi::compat::MPI_Comm_free(c_), "commguard.free");
+  }
+  CommGuard(const CommGuard&) = delete;
+  CommGuard& operator=(const CommGuard&) = delete;
+
+  /// Hand the communicator to the caller; the guard stops owning it.
+  ftmpi::compat::MPI_Comm release() {
+    ftmpi::compat::MPI_Comm out = *c_;
+    c_ = nullptr;
+    return out;
+  }
+
+ private:
+  ftmpi::compat::MPI_Comm* c_;
+};
+
+/// Owns an MPI_Info for the duration of a scope (spawn host placement).
+class InfoGuard {
+ public:
+  explicit InfoGuard(ftmpi::compat::MPI_Info* info) : info_(info) {}
+  ~InfoGuard() {
+    if (info_ != nullptr) {
+      ftr::observe_error(ftmpi::compat::MPI_Info_free(info_), "infoguard.free");
+    }
+  }
+  InfoGuard(const InfoGuard&) = delete;
+  InfoGuard& operator=(const InfoGuard&) = delete;
+
+  void release() { info_ = nullptr; }
+
+ private:
+  ftmpi::compat::MPI_Info* info_;
+};
+
+}  // namespace ftr::core

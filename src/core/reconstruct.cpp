@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/errors.hpp"
 #include "common/logging.hpp"
+#include "core/raii.hpp"
 #include "ftmpi/mpi_compat.hpp"
 
 namespace ftr::core {
@@ -16,34 +18,12 @@ namespace {
 /// the communicator.  (The paper notes a small delay is sometimes needed in
 /// the beta ULFM; our runtime has no such race.)
 void mpi_error_handler(MPI_Comm* comm, int* /*error_code*/) {
-  OMPI_Comm_failure_ack(*comm);
+  // The handler runs while the communicator is already erroring; ack/get
+  // failures here cannot be acted on, only observed.
+  ftr::observe_error(OMPI_Comm_failure_ack(*comm), "errhandler.ack");
   MPI_Group failed_group;
-  OMPI_Comm_failure_get_acked(*comm, &failed_group);
+  ftr::observe_error(OMPI_Comm_failure_get_acked(*comm, &failed_group), "errhandler.acked");
 }
-
-/// Scope guard for intermediate communicators of one repair pass
-/// (shrunken, temp_intercomm, unorder_intracomm): every early return used
-/// to leak them; now they are freed on all paths unless release()d into
-/// the result.
-class CommGuard {
- public:
-  explicit CommGuard(MPI_Comm* c) : c_(c) {}
-  ~CommGuard() {
-    if (c_ != nullptr) MPI_Comm_free(c_);
-  }
-  CommGuard(const CommGuard&) = delete;
-  CommGuard& operator=(const CommGuard&) = delete;
-
-  /// Hand the communicator to the caller; the guard stops owning it.
-  MPI_Comm release() {
-    MPI_Comm out = *c_;
-    c_ = nullptr;
-    return out;
-  }
-
- private:
-  MPI_Comm* c_;
-};
 
 void merge_failed_ranks(std::vector<int>* acc, const std::vector<int>& more) {
   for (int r : more) {
@@ -79,7 +59,7 @@ std::vector<int> Reconstructor::failed_procs_list(const ftmpi::Comm& broken,
   return failed_ranks;
 }
 
-int Reconstructor::select_rank_key(int merged_rank, int shrunken_size,
+int Reconstructor::select_rank_key(int merged_rank, [[maybe_unused]] int shrunken_size,
                                    const std::vector<int>& failed_ranks, int total_procs) {
   // Fig. 7: survivors keep their original rank as the split key.  Build the
   // list of surviving original ranks in order; merged rank i (a survivor,
@@ -100,7 +80,9 @@ int Reconstructor::repair_once(ftmpi::Comm& broken, ReconstructResult& out) {
   // Fig. 5: repairComm, one restartable pass.
   const int slots = ftmpi::runtime().slots_per_host();
   double t0 = MPI_Wtime();
-  OMPI_Comm_revoke(&broken);
+  // A revoke racing another revoke (or a dead comm) is fine: the pass only
+  // needs everyone out of blocking calls, which either outcome achieves.
+  ftr::observe_error(OMPI_Comm_revoke(&broken), "repair.revoke");
   out.timings.revoke += MPI_Wtime() - t0;
 
   t0 = MPI_Wtime();
@@ -249,10 +231,13 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
     if (parent.is_null()) {
       // Parent path.
       if (iter_counter == 0) reconstructed = my_world;
-      MPI_Comm_set_errhandler(reconstructed, new_err_hand);
+      ftr::observe_error(MPI_Comm_set_errhandler(reconstructed, new_err_hand),
+                         "reconstruct.errhandler");
       int flag = 1;
       const double t_detect = MPI_Wtime();
-      OMPI_Comm_agree(reconstructed, &flag);          // synchronize
+      // The agree only synchronizes entry; detection is the barrier's job,
+      // so an agree error here is deliberately left to the barrier.
+      ftr::observe_error(OMPI_Comm_agree(reconstructed, &flag), "reconstruct.sync.agree");
       return_value = MPI_Barrier(reconstructed);       // detect failure
       if (return_value != MPI_SUCCESS) {
         // Failure identification (Fig. 8a): the collective work of reaching
@@ -262,7 +247,8 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
         out.timings.failed_list += MPI_Wtime() - t_detect;
         const int rc = repair(reconstructed, out);
         if (rc == MPI_SUCCESS) {
-          MPI_Comm_free(&reconstructed);  // drop the broken handle
+          // Drop the broken handle.
+          ftr::observe_error(MPI_Comm_free(&reconstructed), "reconstruct.free");
           reconstructed = out.comm;
           out.repaired = true;
         } else {
@@ -278,7 +264,8 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
       // failure here means the repair pass we belong to is being abandoned
       // (the parents observe the same failure and restart from revoke, which
       // respawns us) — an orphaned child simply aborts.
-      MPI_Comm_set_errhandler(parent, new_err_hand);
+      ftr::observe_error(MPI_Comm_set_errhandler(parent, new_err_hand),
+                         "reconstruct.errhandler");
       int flag = 1;
       return_value = OMPI_Comm_agree(parent, &flag);  // synchronize (child part)
       if (return_value != MPI_SUCCESS) {
@@ -307,7 +294,7 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
 
       MPI_Comm temp_intracomm;
       return_value = MPI_Comm_split(unorder_intracomm, 0, old_rank, &temp_intracomm);
-      MPI_Comm_free(&unorder_intracomm);
+      ftr::observe_error(MPI_Comm_free(&unorder_intracomm), "reconstruct.free");
       if (return_value != MPI_SUCCESS) {
         FTR_WARN("reconstruct(child): ordered split failed (%s); aborting orphan",
                  ftmpi::error_string(return_value));

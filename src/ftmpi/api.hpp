@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ftmpi/comm.hpp"
+#include "common/annotations.hpp"
 #include "ftmpi/runtime.hpp"
 #include "ftmpi/types.hpp"
 
@@ -88,27 +89,27 @@ void chaos_point(const char* phase);
 /// Attach an error handler (MPI_Comm_set_errhandler with a user handler
 /// created by MPI_Comm_create_errhandler).  Pass an empty function for
 /// MPI_ERRORS_RETURN (the default).
-int comm_set_errhandler(const Comm& c, ErrhandlerFn handler);
+FTR_NODISCARD int comm_set_errhandler(const Comm& c, ErrhandlerFn handler);
 
 /// Invoke the communicator's error handler for `code` (when != success) and
 /// return `code`.  Exposed for protocol code built on top of the raw byte
 /// primitives.
-int finish(const Comm& c, int code);
+FTR_NODISCARD int finish(const Comm& c, int code);
 
 // --- point-to-point -----------------------------------------------------------
 
-int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c);
-int recv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+FTR_NODISCARD int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c);
+FTR_NODISCARD int recv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
                Status* status = nullptr);
 
 template <class T>
-int send(const T* buf, int count, int dest, int tag, const Comm& c) {
+FTR_NODISCARD int send(const T* buf, int count, int dest, int tag, const Comm& c) {
   static_assert(std::is_trivially_copyable_v<T>);
   return send_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), dest, tag, c);
 }
 
 template <class T>
-int recv(T* buf, int count, int src, int tag, const Comm& c, Status* status = nullptr) {
+FTR_NODISCARD int recv(T* buf, int count, int src, int tag, const Comm& c, Status* status = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   return recv_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), src, tag, c, status);
 }
@@ -120,19 +121,19 @@ int recv(T* buf, int count, int src, int tag, const Comm& c, Status* status = nu
 
 class Request;
 
-int isend_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c,
+FTR_NODISCARD int isend_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c,
                 Request* req);
-int irecv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+FTR_NODISCARD int irecv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
                 Request* req);
 /// Complete a request (blocking for receives).
-int wait(Request* req, Status* status = nullptr);
-int waitall(Request* reqs, int count, Status* statuses = nullptr);
+FTR_NODISCARD int wait(Request* req, Status* status = nullptr);
+FTR_NODISCARD int waitall(Request* reqs, int count, Status* statuses = nullptr);
 /// Nonblocking completion check; *flag = 1 when the request completed.
-int test(Request* req, int* flag, Status* status = nullptr);
+FTR_NODISCARD int test(Request* req, int* flag, Status* status = nullptr);
 
 /// Nonblocking / blocking message probe (MPI_Iprobe / MPI_Probe).
-int iprobe(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
-int probe(int src, int tag, const Comm& c, Status* status = nullptr);
+FTR_NODISCARD int iprobe(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
+FTR_NODISCARD int probe(int src, int tag, const Comm& c, Status* status = nullptr);
 
 /// Salvage variants restricted to *already-buffered* traffic: answer "has a
 /// matching message already been delivered into my mailbox?" and, if so,
@@ -142,29 +143,29 @@ int probe(int src, int tag, const Comm& c, Status* status = nullptr);
 /// transport delivered before it.  Recovery protocols use them to harvest
 /// in-flight replicas after the world broke.  recv_buffered never blocks;
 /// with nothing matching it returns kErrPending.
-int iprobe_buffered(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
-int recv_buffered(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
+FTR_NODISCARD int iprobe_buffered(int src, int tag, const Comm& c, int* flag, Status* status = nullptr);
+FTR_NODISCARD int recv_buffered(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c,
                   Status* status = nullptr);
 
 /// MPI_Sendrecv equivalent.
-int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,
+FTR_NODISCARD int sendrecv_bytes(const void* send_data, std::size_t send_n, int dest, int send_tag,
                    void* recv_buf, std::size_t recv_max, int src, int recv_tag,
                    const Comm& c, Status* status = nullptr);
 
 template <class T>
-int isend(const T* buf, int count, int dest, int tag, const Comm& c, Request* req) {
+FTR_NODISCARD int isend(const T* buf, int count, int dest, int tag, const Comm& c, Request* req) {
   static_assert(std::is_trivially_copyable_v<T>);
   return isend_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), dest, tag, c, req);
 }
 
 template <class T>
-int irecv(T* buf, int count, int src, int tag, const Comm& c, Request* req) {
+FTR_NODISCARD int irecv(T* buf, int count, int src, int tag, const Comm& c, Request* req) {
   static_assert(std::is_trivially_copyable_v<T>);
   return irecv_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), src, tag, c, req);
 }
 
 template <class T>
-int sendrecv(const T* send_buf, int send_count, int dest, int send_tag, T* recv_buf,
+FTR_NODISCARD int sendrecv(const T* send_buf, int send_count, int dest, int send_tag, T* recv_buf,
              int recv_count, int src, int recv_tag, const Comm& c,
              Status* status = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -179,21 +180,21 @@ int sendrecv(const T* send_buf, int send_count, int dest, int send_tag, T* recv_
 // (the root aggregates the outcome), which is what the paper's detection
 // step (Fig. 3 line 13) relies on.
 
-int barrier(const Comm& c);
+FTR_NODISCARD int barrier(const Comm& c);
 
-int bcast_bytes(void* buf, std::size_t n, int root, const Comm& c);
+FTR_NODISCARD int bcast_bytes(void* buf, std::size_t n, int root, const Comm& c);
 /// Variable-size gather: rank r's payload lands in (*out)[r] at the root.
-int gather_bytes(const void* data, std::size_t n, std::vector<std::vector<std::byte>>* out,
+FTR_NODISCARD int gather_bytes(const void* data, std::size_t n, std::vector<std::vector<std::byte>>* out,
                  int root, const Comm& c);
 
 template <class T>
-int bcast(T* buf, int count, int root, const Comm& c) {
+FTR_NODISCARD int bcast(T* buf, int count, int root, const Comm& c) {
   static_assert(std::is_trivially_copyable_v<T>);
   return bcast_bytes(buf, sizeof(T) * static_cast<std::size_t>(count), root, c);
 }
 
 template <class T>
-int gather(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
+FTR_NODISCARD int gather(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::vector<std::byte>> parts;
   const int rc = gather_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count),
@@ -211,7 +212,7 @@ int gather(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
 
 /// Gather variable-length vectors (convenience; MPI_Gatherv equivalent).
 template <class T>
-int gatherv(const std::vector<T>& sendbuf, std::vector<std::vector<T>>* recv_parts,
+FTR_NODISCARD int gatherv(const std::vector<T>& sendbuf, std::vector<std::vector<T>>* recv_parts,
             int root, const Comm& c) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::vector<std::byte>> parts;
@@ -244,7 +245,7 @@ T combine(ReduceOp op, T a, T b) {
 }  // namespace detail_reduce
 
 template <class T>
-int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, int root, const Comm& c) {
+FTR_NODISCARD int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, int root, const Comm& c) {
   static_assert(std::is_arithmetic_v<T>);
   std::vector<std::vector<std::byte>> parts;
   const int rc = gather_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count),
@@ -266,14 +267,14 @@ int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, int root, const
 }
 
 template <class T>
-int allreduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, const Comm& c) {
+FTR_NODISCARD int allreduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, const Comm& c) {
   int rc = reduce(sendbuf, recvbuf, count, op, 0, c);
   if (rc != kSuccess) return rc;
   return bcast(recvbuf, count, 0, c);
 }
 
 template <class T>
-int allgather(const T* sendbuf, int count, T* recvbuf, const Comm& c) {
+FTR_NODISCARD int allgather(const T* sendbuf, int count, T* recvbuf, const Comm& c) {
   int rc = gather(sendbuf, count, recvbuf, 0, c);
   if (rc != kSuccess) return rc;
   return bcast(recvbuf, count * c.size(), 0, c);
@@ -281,14 +282,14 @@ int allgather(const T* sendbuf, int count, T* recvbuf, const Comm& c) {
 
 /// Root distributes fixed-size per-rank slices (MPI_Scatter).  `send` is
 /// significant at the root only; each rank receives `per_rank` bytes.
-int scatter_bytes(const void* send, std::size_t per_rank, void* recv, int root,
+FTR_NODISCARD int scatter_bytes(const void* send, std::size_t per_rank, void* recv, int root,
                   const Comm& c);
 /// Variable-size scatter: one buffer per rank at the root (MPI_Scatterv).
-int scatterv_bytes(const std::vector<std::vector<std::byte>>& parts,
+FTR_NODISCARD int scatterv_bytes(const std::vector<std::vector<std::byte>>& parts,
                    std::vector<std::byte>* recv, int root, const Comm& c);
 
 template <class T>
-int scatter(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
+FTR_NODISCARD int scatter(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
   static_assert(std::is_trivially_copyable_v<T>);
   return scatter_bytes(sendbuf, sizeof(T) * static_cast<std::size_t>(count), recvbuf, root,
                        c);
@@ -296,7 +297,7 @@ int scatter(const T* sendbuf, int count, T* recvbuf, int root, const Comm& c) {
 
 /// Release a communicator handle (MPI_Comm_free).  Contexts are reference
 /// counted through shared ownership; the handle becomes null.
-int comm_free(Comm* c);
+FTR_NODISCARD int comm_free(Comm* c);
 
 /// Human-readable name of an ftmpi error code (MPI_Error_string).
 const char* error_string(int code);
@@ -305,8 +306,8 @@ const char* error_string(int code);
 
 inline constexpr int kUndefinedColor = -1;  ///< MPI_UNDEFINED for comm_split
 
-int comm_split(const Comm& c, int color, int key, Comm* out);
-int comm_dup(const Comm& c, Comm* out);
+FTR_NODISCARD int comm_split(const Comm& c, int color, int key, Comm* out);
+FTR_NODISCARD int comm_dup(const Comm& c, Comm* out);
 
 /// The local group of the communicator (MPI_Comm_group).
 Group comm_group(const Comm& c);
@@ -323,31 +324,31 @@ struct SpawnUnit {
 
 /// Collective over `c`.  The root launches the processes; everyone receives
 /// the parent-side intercommunicator in *intercomm.
-int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Comm& c,
+FTR_NODISCARD int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Comm& c,
                         Comm* intercomm, std::vector<int>* errcodes = nullptr);
 
 /// MPI_Intercomm_merge.  The side passing high=false is ordered first.
-int intercomm_merge(const Comm& inter, bool high, Comm* out);
+FTR_NODISCARD int intercomm_merge(const Comm& inter, bool high, Comm* out);
 
 // --- ULFM extensions -------------------------------------------------------------
 
 /// OMPI_Comm_revoke: mark the communicator revoked everywhere; all pending
 /// and future operations on it (except shrink/agree) fail with kErrRevoked.
-int comm_revoke(const Comm& c);
+FTR_NODISCARD int comm_revoke(const Comm& c);
 
 /// OMPI_Comm_shrink: build a new communicator from the surviving members,
 /// preserving their relative rank order.  Works on revoked communicators.
-int comm_shrink(const Comm& c, Comm* out);
+FTR_NODISCARD int comm_shrink(const Comm& c, Comm* out);
 
 /// OMPI_Comm_agree: fault-tolerant agreement on the bitwise AND of *flag.
 /// Returns kErrProcFailed (uniformly) when the communicator contains dead
 /// members not yet acknowledged by this process, but still sets *flag.
-int comm_agree(const Comm& c, int* flag);
+FTR_NODISCARD int comm_agree(const Comm& c, int* flag);
 
 /// OMPI_Comm_failure_ack: acknowledge all currently-known failures.
-int comm_failure_ack(const Comm& c);
+FTR_NODISCARD int comm_failure_ack(const Comm& c);
 
 /// OMPI_Comm_failure_get_acked: group of acknowledged failed processes.
-int comm_failure_get_acked(const Comm& c, Group* failed);
+FTR_NODISCARD int comm_failure_get_acked(const Comm& c, Group* failed);
 
 }  // namespace ftmpi

@@ -41,11 +41,16 @@ int barrier(const Comm& c) {
       if (st == kErrRevoked) return finish(c, st);
       if (st != kSuccess) outcome = kErrProcFailed;
     }
+    int final_outcome = outcome;
     for (int r = 1; r < g.size(); ++r) {
-      detail::ctrl_send(g.pids[static_cast<size_t>(r)], id, tags::kBarrierRelease,
-                        &outcome, sizeof(outcome));
+      // A failed release send means that member died after arriving; keep
+      // delivering to the rest, but report the death to the caller (it is
+      // the freshest failure knowledge the root has).
+      const int sr = detail::ctrl_send(g.pids[static_cast<size_t>(r)], id,
+                                       tags::kBarrierRelease, &outcome, sizeof(outcome));
+      if (sr != kSuccess) final_outcome = kErrProcFailed;
     }
-    return finish(c, outcome);
+    return finish(c, final_outcome);
   }
   const ProcId root_pid = g.pids[0];
   rc = detail::ctrl_send(root_pid, id, tags::kBarrierArrive, nullptr, 0);
@@ -115,13 +120,16 @@ int gather_bytes(const void* data, std::size_t n, std::vector<std::vector<std::b
       if (out != nullptr) (*out)[static_cast<size_t>(r)] = std::move(payload);
     }
     // Release: tells every member the uniform outcome (and doubles as the
-    // synchronization point that orders consecutive collectives).
+    // synchronization point that orders consecutive collectives).  A member
+    // that dies mid-release still gets the death reported to the caller.
+    int final_outcome = outcome;
     for (int r = 0; r < g.size(); ++r) {
       if (r == root) continue;
-      detail::ctrl_send(g.pids[static_cast<size_t>(r)], id, tags::kBarrierRelease,
-                        &outcome, sizeof(outcome));
+      const int sr = detail::ctrl_send(g.pids[static_cast<size_t>(r)], id,
+                                       tags::kBarrierRelease, &outcome, sizeof(outcome));
+      if (sr != kSuccess) final_outcome = kErrProcFailed;
     }
-    return finish(c, outcome);
+    return finish(c, final_outcome);
   }
   const ProcId root_pid = g.pids[static_cast<size_t>(root)];
   rc = detail::ctrl_send(root_pid, id, tags::kGather, data, n);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/errors.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
 
@@ -89,8 +90,12 @@ int comm_split(const Comm& c, int color, int key, Comm* out) {
       }
     }
     for (int r = 1; r < g.size(); ++r) {
-      detail::ctrl_send(g.pids[static_cast<size_t>(r)], id, tags::kSplitDown,
-                        &replies[static_cast<size_t>(r)], sizeof(SplitReply));
+      // A member that died after its request still gets its reply attempted;
+      // the death is observed uniformly at the next collective.
+      ftr::observe_error(
+          detail::ctrl_send(g.pids[static_cast<size_t>(r)], id, tags::kSplitDown,
+                            &replies[static_cast<size_t>(r)], sizeof(SplitReply)),
+          "split.reply");
     }
     if (outcome == kSuccess && color != kUndefinedColor) {
       *out = Comm(detail::rt().find_context(ctx_of_color[color]), 0, me.pid);

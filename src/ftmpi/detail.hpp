@@ -13,6 +13,7 @@
 
 #include <cstring>
 #include <vector>
+#include "common/annotations.hpp"
 
 #include "ftmpi/runtime.hpp"
 #include "ftmpi/types.hpp"
@@ -43,18 +44,18 @@ struct RecvOpts {
 
 /// Eagerly send a control message to `dst`.  Returns kErrProcFailed when the
 /// destination is already dead.  Never blocks.
-int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::size_t n);
+FTR_NODISCARD int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::size_t n);
 
 /// Blocking control receive matched by exact (ctx, tag, src pid).
 /// Fails with kErrProcFailed when `src` is (or becomes) dead and no matching
 /// message is buffered, after charging the failure-detection latency.
-int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* out,
+FTR_NODISCARD int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* out,
               const RecvOpts& opts = {});
 
 /// Blocking control receive from any source on (ctx, tag).
 /// `watch` lists the pids that may legitimately send; the call fails if all
 /// of them are dead and nothing matched.
-int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
+FTR_NODISCARD int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
                   std::vector<std::byte>* out, ProcId* src, const RecvOpts& opts = {});
 
 // --- trivially-copyable packing helpers -----------------------------------

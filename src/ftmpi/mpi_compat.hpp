@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ftmpi/api.hpp"
+#include "common/annotations.hpp"
 
 namespace ftmpi::compat {
 
@@ -86,7 +87,7 @@ inline int MPI_Comm_create_errhandler(MPI_Comm_errhandler_function fn, MPI_Errha
   return MPI_SUCCESS;
 }
 
-inline int MPI_Comm_set_errhandler(const MPI_Comm& comm, MPI_Errhandler eh) {
+FTR_NODISCARD inline int MPI_Comm_set_errhandler(const MPI_Comm& comm, MPI_Errhandler eh) {
   if (eh.fn == nullptr) return ::ftmpi::comm_set_errhandler(comm, {});
   auto fn = eh.fn;
   return ::ftmpi::comm_set_errhandler(comm, [fn](MPI_Comm& c, int& code) { fn(&c, &code); });
@@ -113,13 +114,13 @@ inline double MPI_Wtime() { return ::ftmpi::wtime(); }
 
 // --- point-to-point ---------------------------------------------------------------
 
-inline int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+FTR_NODISCARD inline int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
                     const MPI_Comm& comm) {
   return ::ftmpi::send_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), dest,
                              tag, comm);
 }
 
-inline int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+FTR_NODISCARD inline int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
                     const MPI_Comm& comm, MPI_Status* status = MPI_STATUS_IGNORE) {
   return ::ftmpi::recv_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), source,
                              tag, comm, status);
@@ -129,40 +130,40 @@ inline int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
 
 using MPI_Request = ::ftmpi::Request;
 
-inline int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+FTR_NODISCARD inline int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
                      const MPI_Comm& comm, MPI_Request* req) {
   return ::ftmpi::isend_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count),
                               dest, tag, comm, req);
 }
 
-inline int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+FTR_NODISCARD inline int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
                      const MPI_Comm& comm, MPI_Request* req) {
   return ::ftmpi::irecv_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count),
                               source, tag, comm, req);
 }
 
-inline int MPI_Wait(MPI_Request* req, MPI_Status* status = MPI_STATUS_IGNORE) {
+FTR_NODISCARD inline int MPI_Wait(MPI_Request* req, MPI_Status* status = MPI_STATUS_IGNORE) {
   return ::ftmpi::wait(req, status);
 }
 
-inline int MPI_Waitall(int count, MPI_Request* reqs, MPI_Status* statuses = nullptr) {
+FTR_NODISCARD inline int MPI_Waitall(int count, MPI_Request* reqs, MPI_Status* statuses = nullptr) {
   return ::ftmpi::waitall(reqs, count, statuses);
 }
 
-inline int MPI_Test(MPI_Request* req, int* flag, MPI_Status* status = MPI_STATUS_IGNORE) {
+FTR_NODISCARD inline int MPI_Test(MPI_Request* req, int* flag, MPI_Status* status = MPI_STATUS_IGNORE) {
   return ::ftmpi::test(req, flag, status);
 }
 
-inline int MPI_Probe(int source, int tag, const MPI_Comm& comm, MPI_Status* status) {
+FTR_NODISCARD inline int MPI_Probe(int source, int tag, const MPI_Comm& comm, MPI_Status* status) {
   return ::ftmpi::probe(source, tag, comm, status);
 }
 
-inline int MPI_Iprobe(int source, int tag, const MPI_Comm& comm, int* flag,
+FTR_NODISCARD inline int MPI_Iprobe(int source, int tag, const MPI_Comm& comm, int* flag,
                       MPI_Status* status = MPI_STATUS_IGNORE) {
   return ::ftmpi::iprobe(source, tag, comm, flag, status);
 }
 
-inline int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+FTR_NODISCARD inline int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                         int dest, int sendtag, void* recvbuf, int recvcount,
                         MPI_Datatype recvtype, int source, int recvtag,
                         const MPI_Comm& comm, MPI_Status* status = MPI_STATUS_IGNORE) {
@@ -174,26 +175,26 @@ inline int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtyp
 
 // --- collectives ---------------------------------------------------------------------
 
-inline int MPI_Barrier(const MPI_Comm& comm) { return ::ftmpi::barrier(comm); }
+FTR_NODISCARD inline int MPI_Barrier(const MPI_Comm& comm) { return ::ftmpi::barrier(comm); }
 
-inline int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, const MPI_Comm& comm) {
+FTR_NODISCARD inline int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, const MPI_Comm& comm) {
   return ::ftmpi::bcast_bytes(buf, mpi_type_size(dt) * static_cast<std::size_t>(count), root,
                               comm);
 }
 
-inline int MPI_Allreduce(const double* sendbuf, double* recvbuf, int count, MPI_Op op,
+FTR_NODISCARD inline int MPI_Allreduce(const double* sendbuf, double* recvbuf, int count, MPI_Op op,
                          const MPI_Comm& comm) {
   return ::ftmpi::allreduce(sendbuf, recvbuf, count, to_reduce_op(op), comm);
 }
 
-inline int MPI_Allreduce(const int* sendbuf, int* recvbuf, int count, MPI_Op op,
+FTR_NODISCARD inline int MPI_Allreduce(const int* sendbuf, int* recvbuf, int count, MPI_Op op,
                          const MPI_Comm& comm) {
   return ::ftmpi::allreduce(sendbuf, recvbuf, count, to_reduce_op(op), comm);
 }
 
 // --- communicator / group management ---------------------------------------------------
 
-inline int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+FTR_NODISCARD inline int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                       void* recvbuf, int /*recvcount*/, MPI_Datatype /*recvtype*/, int root,
                       const MPI_Comm& comm) {
   const std::size_t bytes = mpi_type_size(sendtype) * static_cast<std::size_t>(sendcount);
@@ -211,7 +212,7 @@ inline int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
   return rc;
 }
 
-inline int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+FTR_NODISCARD inline int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                        void* recvbuf, int /*recvcount*/, MPI_Datatype /*recvtype*/,
                        int root, const MPI_Comm& comm) {
   return ::ftmpi::scatter_bytes(
@@ -219,7 +220,7 @@ inline int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype
       comm);
 }
 
-inline int MPI_Comm_free(MPI_Comm* comm) { return ::ftmpi::comm_free(comm); }
+FTR_NODISCARD inline int MPI_Comm_free(MPI_Comm* comm) { return ::ftmpi::comm_free(comm); }
 
 inline int MPI_Error_string(int errorcode, char* string, int* resultlen) {
   const char* msg = ::ftmpi::error_string(errorcode);
@@ -244,11 +245,11 @@ inline const MPI_Errhandler MPI_ERRORS_ARE_FATAL{
       if (*error_code != MPI_SUCCESS) ::ftmpi::abort_self();
     }};
 
-inline int MPI_Comm_split(const MPI_Comm& comm, int color, int key, MPI_Comm* out) {
+FTR_NODISCARD inline int MPI_Comm_split(const MPI_Comm& comm, int color, int key, MPI_Comm* out) {
   return ::ftmpi::comm_split(comm, color, key, out);
 }
 
-inline int MPI_Comm_dup(const MPI_Comm& comm, MPI_Comm* out) {
+FTR_NODISCARD inline int MPI_Comm_dup(const MPI_Comm& comm, MPI_Comm* out) {
   return ::ftmpi::comm_dup(comm, out);
 }
 
@@ -311,7 +312,7 @@ inline int MPI_Info_free(MPI_Info* info) {
 
 /// Memory-safe analog of MPI_Comm_spawn_multiple: count commands, each with
 /// its argv, process count and host info.
-inline int MPI_Comm_spawn_multiple(int count, const std::vector<std::string>& commands,
+FTR_NODISCARD inline int MPI_Comm_spawn_multiple(int count, const std::vector<std::string>& commands,
                                    const std::vector<std::vector<std::string>>& argvs,
                                    const std::vector<int>& maxprocs,
                                    const std::vector<MPI_Info>& infos, int root,
@@ -335,27 +336,27 @@ inline int MPI_Comm_spawn_multiple(int count, const std::vector<std::string>& co
   return rc;
 }
 
-inline int MPI_Intercomm_merge(const MPI_Comm& intercomm, int high, MPI_Comm* out) {
+FTR_NODISCARD inline int MPI_Intercomm_merge(const MPI_Comm& intercomm, int high, MPI_Comm* out) {
   return ::ftmpi::intercomm_merge(intercomm, high != 0, out);
 }
 
 // --- ULFM extensions ------------------------------------------------------------------------
 
-inline int OMPI_Comm_revoke(MPI_Comm* comm) { return ::ftmpi::comm_revoke(*comm); }
+FTR_NODISCARD inline int OMPI_Comm_revoke(MPI_Comm* comm) { return ::ftmpi::comm_revoke(*comm); }
 
-inline int OMPI_Comm_shrink(const MPI_Comm& comm, MPI_Comm* out) {
+FTR_NODISCARD inline int OMPI_Comm_shrink(const MPI_Comm& comm, MPI_Comm* out) {
   return ::ftmpi::comm_shrink(comm, out);
 }
 
-inline int OMPI_Comm_agree(const MPI_Comm& comm, int* flag) {
+FTR_NODISCARD inline int OMPI_Comm_agree(const MPI_Comm& comm, int* flag) {
   return ::ftmpi::comm_agree(comm, flag);
 }
 
-inline int OMPI_Comm_failure_ack(const MPI_Comm& comm) {
+FTR_NODISCARD inline int OMPI_Comm_failure_ack(const MPI_Comm& comm) {
   return ::ftmpi::comm_failure_ack(comm);
 }
 
-inline int OMPI_Comm_failure_get_acked(const MPI_Comm& comm, MPI_Group* failed) {
+FTR_NODISCARD inline int OMPI_Comm_failure_get_acked(const MPI_Comm& comm, MPI_Group* failed) {
   return ::ftmpi::comm_failure_get_acked(comm, failed);
 }
 

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "common/errors.hpp"
 #include "common/logging.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
@@ -72,8 +73,11 @@ int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Com
       const SpawnReply reply{kErrSpawn, 0};
       for (int rr = 0; rr < g.size(); ++rr) {
         if (rr == root) continue;
-        detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
-                          sizeof(reply));
+        // Best-effort delivery of the uniform kErrSpawn verdict: a member
+        // that died meanwhile observes its own failure instead.
+        ftr::observe_error(detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id,
+                                             tags::kSpawnInfo, &reply, sizeof(reply)),
+                           "spawn.reply");
       }
       if (errcodes != nullptr) errcodes->assign(units.size(), kErrSpawn);
       return finish(c, kErrSpawn);
@@ -100,8 +104,9 @@ int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int root, const Com
       // death is observed *uniformly* by every parent and child.  Bailing
       // out here would leave the peers (and the children) agreeing with a
       // coordinator that already went back to revoke.
-      detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id, tags::kSpawnInfo, &reply,
-                        sizeof(reply));
+      ftr::observe_error(detail::ctrl_send(g.pids[static_cast<size_t>(rr)], id,
+                                           tags::kSpawnInfo, &reply, sizeof(reply)),
+                         "spawn.reply");
     }
     if (errcodes != nullptr) errcodes->assign(units.size(), kSuccess);
     *intercomm = Comm(inter, 0, me.pid);
@@ -148,7 +153,9 @@ int intercomm_merge(const Comm& inter, bool high, Comm* out) {
     for (const Group* grp : {&local, &remote}) {
       for (ProcId p : grp->pids) {
         if (p == me.pid || p == local_leader || p == remote_leader) continue;
-        detail::ctrl_send(p, id, tags::kMergeInfo, &none, sizeof(none));
+        // Best-effort: a non-leader that died meanwhile needs no announcement.
+        ftr::observe_error(detail::ctrl_send(p, id, tags::kMergeInfo, &none, sizeof(none)),
+                           "merge.announce");
       }
     }
     return finish(inter, kErrProcFailed);
@@ -183,7 +190,11 @@ int intercomm_merge(const Comm& inter, bool high, Comm* out) {
       r.trace().record(me.vclock, me.pid, TraceEvent::Merge, ctx->group[0].size());
       for (ProcId p : ctx->group[0].pids) {
         if (p == me.pid) continue;
-        detail::ctrl_send(p, id, tags::kMergeInfo, &merged_id, sizeof(merged_id));
+        // A member that died meanwhile is observed uniformly at the next
+        // operation on the merged communicator; keep delivering to the rest.
+        ftr::observe_error(
+            detail::ctrl_send(p, id, tags::kMergeInfo, &merged_id, sizeof(merged_id)),
+            "merge.announce");
       }
     } else {
       std::vector<std::byte> info;

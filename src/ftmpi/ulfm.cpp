@@ -14,6 +14,7 @@
 
 #include <algorithm>
 
+#include "common/errors.hpp"
 #include "common/logging.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
@@ -119,8 +120,12 @@ int comm_shrink(const Comm& c, Comm* out) {
                                   ctx->group[0].size());
       const ShrinkReply reply{kSuccess, ctx->id};
       for (size_t i = 1; i < confirmed.size(); ++i) {
-        detail::ctrl_send(g.pids[static_cast<size_t>(confirmed[i])], id, tags::kShrinkDown,
-                          &reply, sizeof(reply));
+        // A confirmed member that died before its reply retries with the
+        // next coordinator; keep delivering to the rest.
+        ftr::observe_error(
+            detail::ctrl_send(g.pids[static_cast<size_t>(confirmed[i])], id,
+                              tags::kShrinkDown, &reply, sizeof(reply)),
+            "shrink.reply");
       }
       *out = Comm(ctx, 0, me.pid);
       return kSuccess;
@@ -186,8 +191,12 @@ int comm_agree(const Comm& c, int* flag) {
         std::memcpy(reply.data() + sizeof(head), dead.data(), dead.size() * sizeof(ProcId));
       }
       for (size_t i = 1; i < confirmed.size(); ++i) {
-        detail::ctrl_send(g.pids[static_cast<size_t>(confirmed[i])], id, tags::kAgreeDown,
-                          reply.data(), reply.size());
+        // A confirmed member that died before its verdict retries with the
+        // next coordinator; keep delivering to the rest.
+        ftr::observe_error(
+            detail::ctrl_send(g.pids[static_cast<size_t>(confirmed[i])], id,
+                              tags::kAgreeDown, reply.data(), reply.size()),
+            "agree.reply");
       }
       *flag = agreed;
       detail::rt().trace().record(detail::now(), me.pid, TraceEvent::Agree, agreed);

@@ -1,4 +1,5 @@
 #include "grid/decomposition.hpp"
+#include "common/annotations.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -96,21 +97,23 @@ std::vector<double> LocalField::pack_row(int ly) const {
   return v;
 }
 
-void LocalField::pack_column_into(int lx, std::vector<double>& v) const {
+FTR_HOT void LocalField::pack_column_into(int lx, std::vector<double>& v) const {
+  // ftlint:allow(FTL003 warm-up growth of persistent halo scratch)
   v.resize(static_cast<size_t>(block_.height()));
   for (int ly = 0; ly < block_.height(); ++ly) v[static_cast<size_t>(ly)] = at(lx, ly);
 }
 
-void LocalField::pack_row_into(int ly, std::vector<double>& v) const {
+FTR_HOT void LocalField::pack_row_into(int ly, std::vector<double>& v) const {
+  // ftlint:allow(FTL003 warm-up growth of persistent halo scratch)
   v.resize(static_cast<size_t>(block_.width()));
   for (int lx = 0; lx < block_.width(); ++lx) v[static_cast<size_t>(lx)] = at(lx, ly);
 }
 
-void LocalField::unpack_halo_column(int lx, const std::vector<double>& v) {
+FTR_HOT void LocalField::unpack_halo_column(int lx, const std::vector<double>& v) {
   for (int ly = 0; ly < block_.height(); ++ly) at(lx, ly) = v[static_cast<size_t>(ly)];
 }
 
-void LocalField::unpack_halo_row(int ly, const std::vector<double>& v) {
+FTR_HOT void LocalField::unpack_halo_row(int ly, const std::vector<double>& v) {
   for (int lx = 0; lx < block_.width(); ++lx) at(lx, ly) = v[static_cast<size_t>(lx)];
 }
 

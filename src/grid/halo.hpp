@@ -10,6 +10,7 @@
 // send-then-receive pattern cannot deadlock.
 
 #include "ftmpi/api.hpp"
+#include "common/annotations.hpp"
 #include "grid/decomposition.hpp"
 
 namespace ftr::grid {
@@ -17,9 +18,9 @@ namespace ftr::grid {
 /// Fill the west (-1) and east (width) halo columns.  Returns the first
 /// ftmpi error code encountered (failures surface here during a real
 /// process-failure run).
-int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
+FTR_NODISCARD int exchange_x(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
 
 /// Fill the south (-1) and north (height) halo rows.
-int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
+FTR_NODISCARD int exchange_y(LocalField& f, const Decomposition& d, const ftmpi::Comm& comm);
 
 }  // namespace ftr::grid

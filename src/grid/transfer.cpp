@@ -1,4 +1,5 @@
 #include "grid/transfer.hpp"
+#include "common/annotations.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -62,7 +63,7 @@ Cache& cache() {
 /// contiguous row.  Returns a pointer directly into the source grid when the
 /// y weight is exactly 0 or 1 (always the case for refinement maps), so the
 /// scratch row is only touched on genuinely fractional rows.
-const double* blend_rows(const Grid2D& src, const AxisMap& ym, int iy,
+FTR_HOT const double* blend_rows(const Grid2D& src, const AxisMap& ym, int iy,
                          std::vector<double>& scratch) {
   const int snx = src.nx();
   const double* r0 = src.data().data() +
@@ -72,6 +73,7 @@ const double* blend_rows(const Grid2D& src, const AxisMap& ym, int iy,
   if (wy == 0.0) return r0;
   const double* r1 = r0 + snx;
   if (wy == 1.0) return r1;
+  // ftlint:allow(FTL003 warm-up growth of persistent thread_local scratch)
   if (scratch.size() < static_cast<size_t>(snx)) scratch.resize(static_cast<size_t>(snx));
   double* s = scratch.data();
   const double a = 1.0 - wy;
@@ -79,7 +81,7 @@ const double* blend_rows(const Grid2D& src, const AxisMap& ym, int iy,
   return scratch.data();
 }
 
-void gather_row(const double* __restrict s, const AxisMap& xm, double* __restrict out) {
+FTR_HOT void gather_row(const double* __restrict s, const AxisMap& xm, double* __restrict out) {
   const int n = xm.dst_n;
   if (xm.injective) {
     if (xm.src_level == xm.dst_level) {
@@ -98,7 +100,7 @@ void gather_row(const double* __restrict s, const AxisMap& xm, double* __restric
   }
 }
 
-void gather_row_accumulate(const double* __restrict s, const AxisMap& xm, double c,
+FTR_HOT void gather_row_accumulate(const double* __restrict s, const AxisMap& xm, double c,
                            double* __restrict out) {
   const int n = xm.dst_n;
   if (xm.injective) {

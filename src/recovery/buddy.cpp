@@ -210,8 +210,11 @@ int buddy_send(const BuddyTopology& topo, const ftmpi::Comm& world, int grid, in
   const auto buf = pack_replica(grid, grank, step, data);
   ftmpi::Request req;
   const int rc = ftmpi::isend_bytes(buf.data(), buf.size(), dest, kTagBuddyRepl, world, &req);
-  ftmpi::wait(&req);
-  return rc;
+  // Eager sends complete at wait time; a wait error means the replica never
+  // left this rank, which the caller must know about (the planner's buddy
+  // rung counts on the generation landing).
+  const int wrc = ftmpi::wait(&req);
+  return rc != ftmpi::kSuccess ? rc : wrc;
 }
 
 int buddy_drain(BuddyStore& store, const ftmpi::Comm& world) {

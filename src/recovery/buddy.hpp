@@ -21,6 +21,7 @@
 // boundary.
 
 #include <cstddef>
+#include "common/annotations.hpp"
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -154,7 +155,7 @@ class BuddyStore {
 /// time overlaps).  Fires the "buddy.send" chaos point at entry.  Errors
 /// are returned but safe to ignore — replication is best-effort and a
 /// failed buddy surfaces at the next detection point.
-int buddy_send(const BuddyTopology& topo, const ftmpi::Comm& world, int grid, int grank,
+FTR_NODISCARD int buddy_send(const BuddyTopology& topo, const ftmpi::Comm& world, int grid, int grank,
                long step, const std::vector<double>& data);
 
 /// Drain pending replica messages addressed to the caller into `store`

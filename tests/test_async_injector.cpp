@@ -98,7 +98,7 @@ TEST(AsyncInjector, KillAlreadyDeadIsHarmless) {
   Runtime rt;
   rt.register_app("app", [&](const std::vector<std::string>&) {
     if (world().rank() == 1) abort_self();
-    barrier(world());
+    (void)barrier(world());
   });
   std::thread runner([&] { rt.run("app", 3); });
   AsyncFailureInjector injector(rt, {{1}, 1, true});  // same victim again

@@ -58,14 +58,14 @@ TEST(Compat, GroupOpsMatchFig6Usage) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     MPI_Comm comm = world();
     if (comm.rank() == 2) ftmpi::abort_self();
-    MPI_Barrier(comm);
+    (void)MPI_Barrier(comm);
     MPI_Comm shrunken;
     ASSERT_EQ(OMPI_Comm_shrink(comm, &shrunken), MPI_SUCCESS);
 
     MPI_Group old_group, shrink_group;
     MPI_Comm_group(comm, &old_group);
     MPI_Comm_group(shrunken, &shrink_group);
-    int result;
+    int result = MPI_UNEQUAL;
     MPI_Group_compare(old_group, shrink_group, &result);
     if (result == MPI_IDENT) ++bad;
 
@@ -104,15 +104,15 @@ TEST(Compat, ErrhandlerFig4Pattern) {
     MPI_Errhandler eh;
     MPI_Comm_create_errhandler(
         [](MPI_Comm* c, int* /*code*/) {
-          OMPI_Comm_failure_ack(*c);
+          (void)OMPI_Comm_failure_ack(*c);
           MPI_Group failed;
-          OMPI_Comm_failure_get_acked(*c, &failed);
+          (void)OMPI_Comm_failure_get_acked(*c, &failed);
           if (failed.size() == 1) ++handler_runs;
         },
         &eh);
-    MPI_Comm_set_errhandler(comm, eh);
+    (void)MPI_Comm_set_errhandler(comm, eh);
     if (comm.rank() == 1) ftmpi::abort_self();
-    MPI_Barrier(comm);
+    (void)MPI_Barrier(comm);
     // After the handler acked, agreement succeeds.
     int flag = 1;
     EXPECT_EQ(OMPI_Comm_agree(comm, &flag), MPI_SUCCESS);
@@ -131,7 +131,7 @@ TEST(Compat, SpawnMultipleAndMergeFig5Pattern) {
       ASSERT_FALSE(parent.is_null());
       MPI_Comm unordered;
       ASSERT_EQ(MPI_Intercomm_merge(parent, 1, &unordered), MPI_SUCCESS);
-      MPI_Barrier(unordered);
+      (void)MPI_Barrier(unordered);
       return;
     }
     MPI_Comm comm = world();
@@ -146,7 +146,7 @@ TEST(Compat, SpawnMultipleAndMergeFig5Pattern) {
     MPI_Comm unordered;
     ASSERT_EQ(MPI_Intercomm_merge(inter, 0, &unordered), MPI_SUCCESS);
     if (unordered.rank() == 0) merged_size = unordered.size();
-    MPI_Barrier(unordered);
+    (void)MPI_Barrier(unordered);
   });
   rt.run("main", 3);
   EXPECT_EQ(merged_size.load(), 5);
@@ -174,10 +174,10 @@ TEST(Compat, RevokedCommReportsMpiErrRevoked) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     MPI_Comm comm = world();
     MPI_Comm dup;
-    MPI_Comm_dup(comm, &dup);
-    OMPI_Comm_revoke(&dup);
+    (void)MPI_Comm_dup(comm, &dup);
+    (void)OMPI_Comm_revoke(&dup);
     code = MPI_Barrier(dup);
-    MPI_Barrier(comm);  // the original communicator still works
+    (void)MPI_Barrier(comm);  // the original communicator still works
   });
   rt.run("main", 2);
   EXPECT_EQ(code.load(), MPI_ERR_REVOKED);

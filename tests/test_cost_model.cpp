@@ -39,9 +39,9 @@ TEST(VirtualClock, CrossHostMessageIsSlower) {
     rt.register_app("main", [&](const std::vector<std::string>&) {
       Comm& w = world();
       double payload = 1.0;
-      if (w.rank() == 0) send(&payload, 1, 1, 0, w);
+      if (w.rank() == 0) (void)send(&payload, 1, 1, 0, w);
       if (w.rank() == 1) {
-        recv(&payload, 1, 0, 0, w);
+        (void)recv(&payload, 1, 0, 0, w);
         t = wtime();
       }
     });
@@ -61,9 +61,9 @@ TEST(VirtualClock, DeterministicAcrossRuns) {
       Comm& w = world();
       for (int i = 0; i < 10; ++i) {
         double v = i;
-        allreduce(&v, &v, 1, ReduceOp::Sum, w);
+        (void)allreduce(&v, &v, 1, ReduceOp::Sum, w);
       }
-      barrier(w);
+      (void)barrier(w);
       if (w.rank() == 0) t = wtime();
     });
     rt.run("main", 6);
@@ -85,14 +85,14 @@ TEST(VirtualClock, ArrivalTimeOrdersCausally) {
     double v = 0;
     if (w.rank() == 0) {
       advance(1.0);  // the sender works for 1s before sending
-      send(&v, 1, 1, 0, w);
-      send(&v, 1, 2, 0, w);
+      (void)send(&v, 1, 1, 0, w);
+      (void)send(&v, 1, 2, 0, w);
     } else if (w.rank() == 1) {
-      recv(&v, 1, 0, 0, w);  // idle receiver: clock jumps past 1s
+      (void)recv(&v, 1, 0, 0, w);  // idle receiver: clock jumps past 1s
       behind = wtime();
     } else {
       advance(5.0);  // busy receiver: clock stays at ~5s
-      recv(&v, 1, 0, 0, w);
+      (void)recv(&v, 1, 0, 0, w);
       ahead = wtime();
     }
   });
@@ -129,7 +129,7 @@ TEST(VirtualClock, SpawnCostGrowsWithCommSize) {
       const double t0 = wtime();
       Comm inter;
       std::vector<SpawnUnit> units{{"main", {"c"}, 1, -1}};
-      comm_spawn_multiple(units, 0, w, &inter);
+      (void)comm_spawn_multiple(units, 0, w, &inter);
       if (w.rank() == 0) t = wtime() - t0;
     });
     rt.run("main", procs);

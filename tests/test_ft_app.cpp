@@ -132,8 +132,8 @@ INSTANTIATE_TEST_SUITE_P(AllTechniques, FtAppNoFailure,
                          ::testing::Values(Technique::CheckpointRestart,
                                            Technique::ResamplingCopying,
                                            Technique::AlternateCombination),
-                         [](const auto& info) {
-                           return std::string(ftr::comb::technique_tag(info.param));
+                         [](const auto& tpi) {
+                           return std::string(ftr::comb::technique_tag(tpi.param));
                          });
 
 class FtAppRealFailure : public ::testing::TestWithParam<Technique> {};
@@ -158,8 +158,8 @@ INSTANTIATE_TEST_SUITE_P(AllTechniques, FtAppRealFailure,
                          ::testing::Values(Technique::CheckpointRestart,
                                            Technique::ResamplingCopying,
                                            Technique::AlternateCombination),
-                         [](const auto& info) {
-                           return std::string(ftr::comb::technique_tag(info.param));
+                         [](const auto& tpi) {
+                           return std::string(ftr::comb::technique_tag(tpi.param));
                          });
 
 TEST(FtAppRealFailures, TwoKillsInDifferentGrids) {

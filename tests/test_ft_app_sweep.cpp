@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          Technique::ResamplingCopying,
                                          Technique::AlternateCombination),
                        ::testing::Values(1, 2, 3), ::testing::Values(101, 202)),
-    [](const auto& info) {
-      return std::string(ftr::comb::technique_tag(std::get<0>(info.param))) + "_f" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& tpi) {
+      return std::string(ftr::comb::technique_tag(std::get<0>(tpi.param))) + "_f" +
+             std::to_string(std::get<1>(tpi.param)) + "_s" +
+             std::to_string(std::get<2>(tpi.param));
     });

@@ -99,10 +99,10 @@ TEST(FtmpiBasic, VirtualClockAdvancesWithTraffic) {
     EXPECT_EQ(t0, 0.0);
     if (w.rank() == 0) {
       std::vector<double> buf(1000, 1.0);
-      send(buf.data(), 1000, 1, 0, w);
+      (void)send(buf.data(), 1000, 1, 0, w);
     } else {
       std::vector<double> buf(1000);
-      recv(buf.data(), 1000, 0, 0, w);
+      (void)recv(buf.data(), 1000, 0, 0, w);
       t_end = wtime();
     }
   });
@@ -257,10 +257,10 @@ TEST(FtmpiBasic, LargePayloadTransfersIntact) {
     if (w.rank() == 0) {
       std::vector<double> buf(n);
       std::iota(buf.begin(), buf.end(), 0.0);
-      send(buf.data(), static_cast<int>(n), 1, 3, w);
+      (void)send(buf.data(), static_cast<int>(n), 1, 3, w);
     } else {
       std::vector<double> buf(n, -1.0);
-      recv(buf.data(), static_cast<int>(n), 0, 3, w);
+      (void)recv(buf.data(), static_cast<int>(n), 0, 3, w);
       bool good = true;
       for (size_t i = 0; i < n; ++i) good = good && buf[i] == static_cast<double>(i);
       ok = good;

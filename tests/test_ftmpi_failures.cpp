@@ -77,7 +77,7 @@ TEST(FtmpiFailures, MessageSentBeforeDeathIsDelivered) {
     Comm& w = world();
     if (w.rank() == 1) {
       const int v = 7;
-      send(&v, 1, 0, 0, w);
+      (void)send(&v, 1, 0, 0, w);
       abort_self();
     }
     if (w.rank() == 0) {
@@ -112,12 +112,12 @@ TEST(FtmpiFailures, ErrhandlerInvokedOnError) {
   std::atomic<int> handler_code{0};
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
-    comm_set_errhandler(w, [&](Comm&, int& code) {
+    (void)comm_set_errhandler(w, [&](Comm&, int& code) {
       ++handler_calls;
       handler_code = code;
     });
     if (w.rank() == 1) abort_self();
-    barrier(w);
+    (void)barrier(w);
   });
   rt.run("main", 3);
   EXPECT_EQ(handler_calls.load(), 2);
@@ -132,14 +132,14 @@ TEST(FtmpiFailures, FailureAckAndGetAcked) {
     Comm& w = world();
     if (w.rank() == 2) abort_self();
     if (w.rank() == 0) {
-      barrier(w);  // returns an error; failure now known
-      comm_failure_ack(w);
+      (void)barrier(w);  // returns an error; failure now known
+      (void)comm_failure_ack(w);
       Group failed;
-      comm_failure_get_acked(w, &failed);
+      (void)comm_failure_get_acked(w, &failed);
       acked_size = failed.size();
       if (failed.size() == 1) acked_rank = w.group().rank_of(failed.pids[0]);
     } else {
-      barrier(w);
+      (void)barrier(w);
     }
   });
   rt.run("main", 4);
@@ -157,7 +157,7 @@ TEST(FtmpiFailures, RevokeInterruptsPendingRecv) {
       code = recv(&v, 1, 1, 0, w);  // rank 1 never sends; revoke must wake us
     } else {
       advance(0.001);
-      comm_revoke(w);
+      (void)comm_revoke(w);
     }
   });
   rt.run("main", 2);
@@ -169,7 +169,7 @@ TEST(FtmpiFailures, OpsOnRevokedCommFail) {
   std::atomic<int> send_code{-1}, barrier_code{-1};
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
-    comm_revoke(w);
+    (void)comm_revoke(w);
     const int v = 0;
     send_code = send(&v, 1, (w.rank() + 1) % w.size(), 0, w);
     barrier_code = barrier(w);
@@ -185,7 +185,7 @@ TEST(FtmpiFailures, ShrinkRemovesDeadPreservingOrder) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     if (w.rank() == 1 || w.rank() == 3) abort_self();
-    barrier(w);  // observe the failure
+    (void)barrier(w);  // observe the failure
     Comm s;
     ASSERT_EQ(comm_shrink(w, &s), kSuccess);
     if (s.size() != 3) ++bad;
@@ -206,8 +206,8 @@ TEST(FtmpiFailures, ShrinkWorksOnRevokedComm) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     if (w.rank() == 2) abort_self();
-    barrier(w);
-    comm_revoke(w);
+    (void)barrier(w);
+    (void)comm_revoke(w);
     Comm s;
     if (comm_shrink(w, &s) != kSuccess) ++bad;
     if (s.size() != 3) ++bad;
@@ -236,7 +236,7 @@ TEST(FtmpiFailures, AgreeReportsUnackedFailuresUniformly) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     if (w.rank() == 1) abort_self();
-    barrier(w);  // failure becomes known; not acked yet
+    (void)barrier(w);  // failure becomes known; not acked yet
     int flag = 1;
     if (comm_agree(w, &flag) == kErrProcFailed) ++errors;
   });
@@ -250,8 +250,8 @@ TEST(FtmpiFailures, AgreeSucceedsAfterAck) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     if (w.rank() == 1) abort_self();
-    barrier(w);
-    comm_failure_ack(w);
+    (void)barrier(w);
+    (void)comm_failure_ack(w);
     int flag = 1;
     if (comm_agree(w, &flag) == kSuccess && flag == 1) ++codes_ok;
   });
@@ -311,7 +311,7 @@ TEST(FtmpiFailures, KillFreesSlotForRespawn) {
       return;
     }
     if (w.rank() == 1) abort_self();  // frees a slot on host 0
-    barrier(w);
+    (void)barrier(w);
     Comm s;
     ASSERT_EQ(comm_shrink(w, &s), kSuccess);
     std::vector<SpawnUnit> units(1);
@@ -386,10 +386,10 @@ TEST(FtmpiFailures, MultipleFailuresShrinkCostsMoreVirtualTime) {
     rt.register_app("main", [&, kills](const std::vector<std::string>&) {
       Comm& w = world();
       if (w.rank() >= 1 && w.rank() <= kills) abort_self();
-      barrier(w);
+      (void)barrier(w);
       const double t0 = wtime();
       Comm s;
-      comm_shrink(w, &s);
+      (void)comm_shrink(w, &s);
       if (w.rank() == 0) t = wtime() - t0;
     });
     rt.run("main", 8);
@@ -411,7 +411,7 @@ TEST(FtmpiFailures, ExternalKillFromHarnessThread) {
       victim = self_pid();
       // Spin in recv; the harness kills us while blocked.
       int v = 0;
-      recv(&v, 1, 0, 0, w);  // never satisfied
+      (void)recv(&v, 1, 0, 0, w);  // never satisfied
       ADD_FAILURE() << "dead process kept running";
     } else {
       while (victim.load() == kNullProc) {}

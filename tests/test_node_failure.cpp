@@ -90,7 +90,7 @@ TEST(NodeFailure, RepairRespawnsNodeCoLocated) {
       }
       if (res.comm.size() != 9) ++bad;
       if (res.comm.rank() < 3 || res.comm.rank() > 5) ++bad;  // host 1's ranks
-      barrier(res.comm);
+      (void)barrier(res.comm);
       return;
     }
     Comm w = world();  // 9 ranks over hosts 0,1,2
@@ -104,7 +104,7 @@ TEST(NodeFailure, RepairRespawnsNodeCoLocated) {
     const auto res = recon.reconstruct(w);
     if (res.comm.size() != 9) ++bad;
     if (res.comm.rank() != w.rank()) ++bad;
-    barrier(res.comm);
+    (void)barrier(res.comm);
   });
   rt.run("app", 9);
   EXPECT_EQ(bad.load(), 0);

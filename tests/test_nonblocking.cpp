@@ -72,9 +72,9 @@ TEST(Nonblocking, TestPollsUntilMessageArrives) {
       ASSERT_EQ(irecv(&v, 1, 1, 0, w, &req), kSuccess);
       int flag = 0;
       // First poll very likely incomplete (rank 1 waits for our token).
-      test(&req, &flag);
+      (void)test(&req, &flag);
       const int token = 1;
-      send(&token, 1, 1, 9, w);
+      (void)send(&token, 1, 1, 9, w);
       while (!flag) {
         ++polls;
         ASSERT_EQ(test(&req, &flag), kSuccess);
@@ -82,9 +82,9 @@ TEST(Nonblocking, TestPollsUntilMessageArrives) {
       got = v;
     } else {
       int token = 0;
-      recv(&token, 1, 0, 9, w);
+      (void)recv(&token, 1, 0, 9, w);
       const int v = 88;
-      send(&v, 1, 0, 0, w);
+      (void)send(&v, 1, 0, 0, w);
     }
   });
   rt.run("main", 2);
@@ -99,7 +99,7 @@ TEST(Nonblocking, IprobeReportsSizeWithoutConsuming) {
     Comm& w = world();
     if (w.rank() == 0) {
       const double v[3] = {1, 2, 3};
-      send(v, 3, 1, 5, w);
+      (void)send(v, 3, 1, 5, w);
     } else {
       Status st;
       ASSERT_EQ(probe(0, 5, w, &st), kSuccess);
@@ -143,7 +143,7 @@ TEST(Nonblocking, WaitOnRecvFromDeadPeerFails) {
     if (w.rank() == 1) abort_self();
     int v = 0;
     Request req;
-    irecv(&v, 1, 1, 0, w, &req);
+    (void)irecv(&v, 1, 1, 0, w, &req);
     code = wait(&req);
   });
   rt.run("main", 2);
@@ -175,11 +175,11 @@ TEST(Nonblocking, ProbeWakesOnLateMessage) {
       ASSERT_EQ(probe(kAnySource, kAnyTag, w, &st), kSuccess);
       src = st.source;
       int v;
-      recv(&v, 1, st.source, st.tag, w);
+      (void)recv(&v, 1, st.source, st.tag, w);
     } else {
       advance(0.01);
       const int v = 1;
-      send(&v, 1, 0, 2, w);
+      (void)send(&v, 1, 0, 2, w);
     }
   });
   rt.run("main", 2);

@@ -206,7 +206,9 @@ TEST(Planner, ExhaustiveLossSubsetsNeverAbortAndStayConsistent) {
               // An RC source must itself be alive.
               EXPECT_EQ(std::count(lost.begin(), lost.end(), p), 0);
             }
-            if (a == RecoveryAction::Buddy) EXPECT_GE(plan.entries[i].step, 0);
+            if (a == RecoveryAction::Buddy) {
+              EXPECT_GE(plan.entries[i].step, 0);
+            }
           }
           // The full lattice restores every complete group (the disk rung
           // accepts any of them), so recoverable patterns never degrade.
@@ -424,7 +426,9 @@ TEST(PlannerApp, ExhaustiveSimulatedLossSweepRecoversOrDegrades) {
     const bool exact = rt.get(std::string(keys::kPlanPrefix) + "rc_resample", 0) == 0 &&
                        rt.get(std::string(keys::kPlanPrefix) + "gcp", 0) == 0 &&
                        rt.get(std::string(keys::kPlanPrefix) + "idle", 0) == 0;
-    if (exact) EXPECT_NEAR(err, err_clean, 1e-10);
+    if (exact) {
+      EXPECT_NEAR(err, err_clean, 1e-10);
+    }
   }
 }
 

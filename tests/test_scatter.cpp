@@ -75,7 +75,7 @@ TEST(CommFree, NullsHandle) {
   std::atomic<int> bad{0};
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm dup;
-    comm_dup(world(), &dup);
+    (void)comm_dup(world(), &dup);
     if (dup.is_null()) ++bad;
     if (comm_free(&dup) != kSuccess) ++bad;
     if (!dup.is_null()) ++bad;
@@ -99,9 +99,9 @@ TEST(CompatHandlers, ErrorsAreFatalAbortsOnError) {
   std::atomic<int> after{0};
   rt.register_app("main", [&](const std::vector<std::string>&) {
     MPI_Comm comm = world();
-    MPI_Comm_set_errhandler(comm, MPI_ERRORS_ARE_FATAL);
+    (void)MPI_Comm_set_errhandler(comm, MPI_ERRORS_ARE_FATAL);
     if (comm.rank() == 1) ftmpi::abort_self();
-    MPI_Barrier(comm);  // error -> fatal handler -> self-abort
+    (void)MPI_Barrier(comm);  // error -> fatal handler -> self-abort
     ++after;            // unreachable on survivors
   });
   const int killed = rt.run("main", 3);

@@ -18,8 +18,8 @@ TEST(Stats, MessageCountersIncrease) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     double v = 1.0;
-    allreduce(&v, &v, 1, ReduceOp::Sum, w);
-    barrier(w);
+    (void)allreduce(&v, &v, 1, ReduceOp::Sum, w);
+    (void)barrier(w);
   });
   rt.run("main", 6);
   const auto s = rt.stats();
@@ -37,11 +37,11 @@ TEST(Stats, CrossHostCountedSeparately) {
     Comm& w = world();
     const int v = 0;
     if (w.rank() == 0) {
-      send(&v, 1, 1, 0, w);  // same host
-      send(&v, 1, 2, 0, w);  // cross host
+      (void)send(&v, 1, 1, 0, w);  // same host
+      (void)send(&v, 1, 2, 0, w);  // cross host
     } else {
       int r;
-      recv(&r, 1, 0, 0, w);
+      (void)recv(&r, 1, 0, 0, w);
     }
   });
   rt.run("main", 3);
@@ -71,8 +71,8 @@ TEST_P(RandomFailures, ShrinkAndAgreeInvariants) {
     Comm& w = world();
     const int r = w.rank();
     if (std::find(victims.begin(), victims.end(), r) != victims.end()) abort_self();
-    barrier(w);  // observe failures
-    comm_failure_ack(w);
+    (void)barrier(w);  // observe failures
+    (void)comm_failure_ack(w);
 
     Comm s;
     if (comm_shrink(w, &s) != kSuccess) ++bad;
@@ -152,7 +152,7 @@ TEST(Stress, SiblingGroupUnaffectedByFailureElsewhere) {
   rt.register_app("main", [&](const std::vector<std::string>&) {
     Comm& w = world();
     Comm half;
-    comm_split(w, w.rank() < 3 ? 0 : 1, w.rank(), &half);
+    (void)comm_split(w, w.rank() < 3 ? 0 : 1, w.rank(), &half);
     if (w.rank() == 4) abort_self();
     if (w.rank() < 3) {
       // Group 0 is failure-free; its collectives keep working.

@@ -1,0 +1,45 @@
+#pragma once
+// Miniature stand-in for src/ftmpi/api.hpp + src/common/annotations.hpp so
+// the fixture corpus is self-contained: ftlint derives its FTL001 registry
+// and FTL003 hot-roots from the FTR_NODISCARD / FTR_HOT markers it finds
+// under the scanned root, which for the fixture suite is this directory.
+// Fixtures are linted, never compiled.
+
+#define FTR_NODISCARD [[nodiscard]]
+#define FTR_HOT [[gnu::hot]]
+
+namespace ftmpi {
+
+struct Comm {};
+struct Request {};
+struct Status {};
+
+void chaos_point(const char* where);
+
+FTR_NODISCARD int send(const double* buf, int count, int dest, int tag, const Comm& c);
+FTR_NODISCARD int recv(double* buf, int count, int src, int tag, const Comm& c, Status* st);
+FTR_NODISCARD int isend(const double* buf, int count, int dest, int tag, const Comm& c,
+                        Request* req);
+FTR_NODISCARD int wait(Request* req, Status* st);
+FTR_NODISCARD int barrier(const Comm& c);
+FTR_NODISCARD int comm_revoke(const Comm& c);
+FTR_NODISCARD int comm_shrink(const Comm& c, Comm* out);
+FTR_NODISCARD int comm_agree(const Comm& c, int* flag);
+
+namespace compat {
+using MPI_Comm = Comm;
+using MPI_Info = int;
+FTR_NODISCARD int MPI_Comm_free(MPI_Comm* c);
+FTR_NODISCARD int MPI_Comm_split(const MPI_Comm& c, int color, int key, MPI_Comm* out);
+int MPI_Info_free(MPI_Info* info);
+}  // namespace compat
+
+}  // namespace ftmpi
+
+namespace ftr::core {
+class CommGuard {
+ public:
+  explicit CommGuard(ftmpi::compat::MPI_Comm* c);
+  ftmpi::compat::MPI_Comm release();
+};
+}  // namespace ftr::core

@@ -1,0 +1,12 @@
+// FTL002 seed: a raw communicator owned across an early return with a
+// manual free — the early return leaks the handle.
+#include "api_stub.hpp"
+
+using namespace ftmpi::compat;
+
+int leaky_split(const MPI_Comm& world, int color) {
+  MPI_Comm part;  // EXPECT: FTL002
+  if (MPI_Comm_split(world, color, 0, &part) != 0) return 1;
+  if (color == 0) return 2;  // leaks `part`
+  return MPI_Comm_free(&part);
+}

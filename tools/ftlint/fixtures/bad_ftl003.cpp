@@ -1,0 +1,25 @@
+// FTL003 seed: an FTR_HOT kernel that reaches container growth through a
+// helper — the violation is transitive and reported at the allocation site.
+#include <vector>
+
+#include "api_stub.hpp"
+
+namespace {
+
+void accumulate(std::vector<double>* out, double v) {
+  out->push_back(v);  // EXPECT: FTL003
+}
+
+FTR_HOT void hot_sweep(const double* row, int n, std::vector<double>* out) {
+  for (int i = 0; i < n; ++i) accumulate(out, row[i] * 0.5);
+}
+
+FTR_HOT double hot_direct(int n) {
+  double* scratch = new double[8];  // EXPECT: FTL003
+  double acc = 0;
+  for (int i = 0; i < n && i < 8; ++i) acc += scratch[i];
+  delete[] scratch;
+  return acc;
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// FTL004 seed: a protocol-family function with no chaos_point hook — fault
+// injection cannot reach this step, so its failure handling silently rots.
+#include "api_stub.hpp"
+
+namespace ftmpi {
+
+int comm_agree(const Comm& c, int* flag) {  // EXPECT: FTL004
+  (void)c;
+  *flag = 1;
+  return 0;
+}
+
+}  // namespace ftmpi

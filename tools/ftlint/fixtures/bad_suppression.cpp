@@ -1,0 +1,9 @@
+// FTL000 seeds: suppressions that do not carry their mandatory
+// justification (a bare allow does NOT silence the underlying finding).
+#include "api_stub.hpp"
+
+int sloppy(ftmpi::Comm& world) {
+  ftmpi::barrier(world);  // ftlint:allow(FTL001)  <- no reason  // EXPECT: FTL000 FTL001
+  // ftlint:allow(FTL9 not a rule id)  // EXPECT: FTL000
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Clean fixture: every rule's happy path in one file.  Must produce zero
+// findings.
+#include <vector>
+
+#include "api_stub.hpp"
+
+using namespace ftmpi::compat;
+
+namespace ftmpi {
+
+// FTL004: the agree family definition carries its chaos hook.
+int comm_shrink(const Comm& c, Comm* out) {
+  chaos_point("shrink");
+  *out = c;
+  return 0;
+}
+
+}  // namespace ftmpi
+
+// FTL001: results observed — branched, returned, assigned, passed on.
+int observed(ftmpi::Comm& world) {
+  double buf[2] = {0, 0};
+  if (ftmpi::send(buf, 2, 1, 3, world) != 0) return 1;
+  const int rc = ftmpi::barrier(world);
+  return rc == 0 ? ftmpi::comm_revoke(world) : rc;
+}
+
+// FTL002: the guard owns the handle, so the early return cannot leak it.
+int guarded_split(const MPI_Comm& world, int color) {
+  MPI_Comm part;
+  if (MPI_Comm_split(world, color, 0, &part) != 0) return 1;
+  ftr::core::CommGuard guard(&part);
+  if (color == 0) return 2;  // guard frees `part`
+  return 0;
+}
+
+// FTL003: a hot kernel that writes into caller-provided storage only.
+FTR_HOT void hot_blend(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = 0.5 * (a[i] + b[i]);
+}

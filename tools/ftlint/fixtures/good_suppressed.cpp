@@ -1,0 +1,25 @@
+// Clean fixture: findings silenced by well-formed suppressions — each names
+// its rule and carries a justification, so nothing is reported.
+#include <vector>
+
+#include "api_stub.hpp"
+
+int tolerated(ftmpi::Comm& world) {
+  // ftlint:allow(FTL001 chaos probe fires regardless; result deliberately unobserved)
+  ftmpi::barrier(world);
+  return 0;
+}
+
+namespace {
+std::vector<double>& scratch() {
+  static thread_local std::vector<double> s;
+  return s;
+}
+}  // namespace
+
+FTR_HOT void hot_with_warmup(const double* row, int n) {
+  auto& s = scratch();
+  // ftlint:allow(FTL003 warm-up growth of persistent thread_local scratch)
+  if (static_cast<int>(s.size()) < n) s.resize(static_cast<unsigned>(n));
+  for (int i = 0; i < n; ++i) s[static_cast<unsigned>(i)] = row[i];
+}

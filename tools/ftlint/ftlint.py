@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""ftlint — static checker for this repo's fault-tolerance invariants.
+
+Enforced rules (details in docs/ARCHITECTURE.md, "Enforced invariants"):
+
+  FTL001  every call to an error-returning ftmpi::/MPI_ function (anything
+          marked FTR_NODISCARD) must have its result observed — assigned,
+          compared, returned, or passed on.  Expression-statement discards
+          and `(void)` casts are violations.
+  FTL002  no raw MPI_Comm/MPI_Request/MPI_Info owned across an early return
+          with a manual `*_free`; use the RAII guards (src/core/raii.hpp).
+  FTL003  functions annotated FTR_HOT must be transitively allocation-free:
+          no new/malloc and no container growth anywhere they can reach.
+  FTL004  the shrink/agree/spawn/merge/replication protocol functions must
+          contain a `chaos_point(...)` hook so fault injection reaches them.
+  FTL000  suppression hygiene: `// ftlint:allow(FTLxxx reason)` requires a
+          valid rule id and a non-empty justification.
+
+Suppress a finding with `// ftlint:allow(FTLxxx reason)` on the same line or
+the line directly above it.
+
+Usage:
+  ftlint.py --root src                         # lint a tree
+  ftlint.py --root src --compile-commands build/compile_commands.json
+  ftlint.py file.cpp other.hpp                 # lint specific files
+  ftlint.py --engine lex|clang|auto ...        # engine selection
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ftlint_lex  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="ftlint", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", action="append", default=[],
+                    help="directory tree to lint (repeatable)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang engine")
+    ap.add_argument("--engine", choices=("auto", "lex", "clang"), default="auto",
+                    help="auto = lexer engine, plus the libclang cross-check "
+                         "when clang.cindex is importable (default)")
+    ap.add_argument("--rules", default="FTL000,FTL001,FTL002,FTL003,FTL004",
+                    help="comma-separated rule ids to run")
+    ap.add_argument("files", nargs="*", help="extra files to lint")
+    args = ap.parse_args(argv)
+
+    if not args.root and not args.files:
+        ap.error("give at least one --root or file")
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    bad = rules - set(ftlint_lex.RULE_IDS)
+    if bad:
+        ap.error(f"unknown rule ids: {', '.join(sorted(bad))}")
+
+    files = ftlint_lex.collect_files(args.root, args.files)
+    if not files:
+        print("ftlint: no input files", file=sys.stderr)
+        return 2
+
+    engine = ftlint_lex.Engine(files)
+    findings = engine.run(rules)
+
+    use_clang = args.engine == "clang"
+    if args.engine == "auto":
+        import ftlint_clang
+        use_clang = ftlint_clang.available()
+    if use_clang:
+        import ftlint_clang
+        if not ftlint_clang.available():
+            print("ftlint: --engine clang requested but clang.cindex/libclang "
+                  "is unavailable", file=sys.stderr)
+            return 2
+        # Cross-check: the clang engine re-derives FTL001/FTL004 from the
+        # AST; anything it finds at a (path, line) the lexer engine already
+        # reported is dropped as a duplicate.
+        known = {(f.path, f.line, f.rule) for f in findings}
+        for f in ftlint_clang.run(files, args.compile_commands):
+            if f.rule in rules and (f.path, f.line, f.rule) not in known:
+                findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    if n:
+        print(f"ftlint: {n} finding{'s' if n != 1 else ''} "
+              f"in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"ftlint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Optional libclang (clang.cindex) engine for ftlint.
+
+Where the libclang Python bindings are installed, this engine re-derives
+FTL001 and FTL004 from the real AST, driven by compile_commands.json, and is
+used as a cross-check on top of the dependency-free lexer engine
+(ftlint_lex.py), which remains the reference implementation for all four
+rules.  On hosts without the bindings (including the stock test container)
+`available()` returns False and the driver falls back silently — the lint
+gate never depends on an optional package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+
+from ftlint_lex import FTL004_FAMILIES, Finding
+
+try:  # pragma: no cover - depends on host packages
+    import clang.cindex as _cindex
+
+    _HAVE_CINDEX = True
+except Exception:  # ImportError or a broken libclang install
+    _cindex = None
+    _HAVE_CINDEX = False
+
+
+def available() -> bool:
+    if not _HAVE_CINDEX:
+        return False
+    try:  # the bindings can be present with no usable libclang.so
+        _cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _load_compile_commands(path: str) -> dict[str, list[str]]:
+    """Map absolute source path -> compiler args (without the compiler/file)."""
+    out: dict[str, list[str]] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for entry in json.load(fh):
+            args = entry.get("arguments") or shlex.split(entry.get("command", ""))
+            src = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+            keep: list[str] = []
+            skip_next = False
+            for a in args[1:]:
+                if skip_next:
+                    skip_next = False
+                    continue
+                if a in ("-c", src, entry["file"]):
+                    continue
+                if a == "-o":
+                    skip_next = True
+                    continue
+                keep.append(a)
+            out[src] = keep
+    return out
+
+
+def _is_nodiscard(decl) -> bool:
+    return any(ch.kind == _cindex.CursorKind.WARN_UNUSED_RESULT_ATTR
+               for ch in decl.get_children())
+
+
+def _walk(cursor, fn):
+    fn(cursor)
+    for ch in cursor.get_children():
+        _walk(ch, fn)
+
+
+def run(files: list[str], compile_commands: str | None) -> list[Finding]:
+    """FTL001 + FTL004 over `files`; the caller merges with the lexer engine
+    (which keeps responsibility for FTL000/FTL002/FTL003 in all modes)."""
+    cc = _load_compile_commands(compile_commands) if compile_commands else {}
+    index = _cindex.Index.create()
+    findings: list[Finding] = []
+    wanted = {os.path.normpath(os.path.abspath(f)) for f in files}
+
+    for path in sorted(wanted):
+        if not path.endswith((".cpp", ".cc", ".cxx")):
+            continue
+        args = cc.get(path, ["-std=c++20"])
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            continue
+
+        def visit(cur, path=path):
+            # FTL001: a call whose value forms a full expression statement.
+            if cur.kind == _cindex.CursorKind.COMPOUND_STMT:
+                for stmt in cur.get_children():
+                    call = stmt
+                    # Unwrap top-level casts so `(void)call()` is seen too.
+                    while call.kind == _cindex.CursorKind.CSTYLE_CAST_EXPR:
+                        kids = list(call.get_children())
+                        if not kids:
+                            break
+                        call = kids[-1]
+                    if call.kind != _cindex.CursorKind.CALL_EXPR:
+                        continue
+                    ref = call.referenced
+                    if ref is None or not _is_nodiscard(ref):
+                        continue
+                    if str(stmt.location.file) != path:
+                        continue
+                    findings.append(Finding(
+                        path, stmt.location.line, "FTL001",
+                        f"result of error-returning `{ref.spelling}` is "
+                        "discarded (clang engine)"))
+            # FTL004: family definitions must contain a chaos_point call.
+            if (cur.kind in (_cindex.CursorKind.FUNCTION_DECL,
+                             _cindex.CursorKind.CXX_METHOD)
+                    and cur.is_definition()
+                    and cur.spelling in FTL004_FAMILIES
+                    and str(cur.location.file) == path):
+                hooks = []
+                _walk(cur, lambda c: hooks.append(c)
+                      if c.kind == _cindex.CursorKind.CALL_EXPR
+                      and c.spelling == "chaos_point" else None)
+                if not hooks:
+                    findings.append(Finding(
+                        path, cur.location.line, "FTL004",
+                        f"`{cur.spelling}` "
+                        f"({FTL004_FAMILIES[cur.spelling]} family) has no "
+                        "chaos_point hook (clang engine)"))
+
+        _walk(tu.cursor, visit)
+    return findings

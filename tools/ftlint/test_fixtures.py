@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fixture-corpus test for ftlint (registered with ctest as ftlint_fixtures).
+
+Every seeded violation in tools/ftlint/fixtures/ carries an inline
+`// EXPECT: FTLxxx [FTLyyy ...]` marker on the line the checker must report.
+This driver runs the lexer engine over the corpus and demands an *exact* set
+match between expected and actual (file, line, rule) triples — a missed seed,
+a wrong line number, a wrong rule id, or any finding in a `good_*` fixture
+all fail.  It then re-runs via the CLI to pin the exit-code contract:
+1 for the full corpus (findings), 0 for the clean fixtures alone.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+sys.path.insert(0, HERE)
+
+from ftlint_lex import Engine, RULE_IDS, collect_files  # noqa: E402
+
+_EXPECT_RE = re.compile(r"EXPECT:\s*((?:FTL\d{3}[\s,]*)+)")
+
+
+def expected_findings(files):
+    """Parse `// EXPECT: FTLxxx ...` markers into (relpath, line, rule)."""
+    exp = set()
+    for path in files:
+        rel = os.path.relpath(path, FIXTURES)
+        with open(path, encoding="utf-8") as fh:
+            for lineno, text in enumerate(fh, start=1):
+                m = _EXPECT_RE.search(text)
+                if not m:
+                    continue
+                for rule in re.findall(r"FTL\d{3}", m.group(1)):
+                    assert rule in RULE_IDS, f"{rel}:{lineno}: bad marker {rule}"
+                    exp.add((rel, lineno, rule))
+    return exp
+
+
+def main():
+    files = collect_files([FIXTURES], [])
+    if not files:
+        print(f"FAIL: no fixtures found under {FIXTURES}")
+        return 1
+    expected = expected_findings(files)
+    if not expected:
+        print("FAIL: fixture corpus has no EXPECT markers — nothing is tested")
+        return 1
+
+    engine = Engine(files)
+    actual = {
+        (os.path.relpath(f.path, FIXTURES), f.line, f.rule)
+        for f in engine.run(set(RULE_IDS))
+    }
+
+    missed = sorted(expected - actual)
+    spurious = sorted(actual - expected)
+    for rel, line, rule in missed:
+        print(f"FAIL: seeded violation not reported: {rel}:{line}: {rule}")
+    for rel, line, rule in spurious:
+        print(f"FAIL: unexpected finding: {rel}:{line}: {rule}")
+
+    # good_* fixtures must be silent — already implied by the exact-set
+    # check, but assert it separately so the failure message is direct.
+    noisy_good = sorted({t for t in actual if t[0].startswith("good_")})
+    for rel, line, rule in noisy_good:
+        print(f"FAIL: clean fixture flagged: {rel}:{line}: {rule}")
+
+    ok = not missed and not spurious and not noisy_good
+
+    # CLI contract: findings => exit 1; clean tree => exit 0.
+    cli = os.path.join(HERE, "ftlint.py")
+    full = subprocess.run(
+        [sys.executable, cli, "--engine", "lex", "--root", FIXTURES],
+        capture_output=True, text=True)
+    if full.returncode != 1:
+        print(f"FAIL: CLI over full corpus: expected exit 1, got "
+              f"{full.returncode}\n{full.stdout}{full.stderr}")
+        ok = False
+    good_files = [f for f in files
+                  if os.path.basename(f).startswith(("good_", "api_stub"))]
+    clean = subprocess.run(
+        [sys.executable, cli, "--engine", "lex", *good_files],
+        capture_output=True, text=True)
+    if clean.returncode != 0:
+        print(f"FAIL: CLI over clean fixtures: expected exit 0, got "
+              f"{clean.returncode}\n{clean.stdout}{clean.stderr}")
+        ok = False
+
+    if ok:
+        print(f"PASS: {len(expected)} seeded violations reported exactly, "
+              f"clean fixtures silent, CLI exit codes correct "
+              f"({len(files)} fixture files)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
