@@ -8,6 +8,7 @@
 
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 
@@ -26,6 +27,7 @@ int barrier(const Comm& c) {
   detail::check_alive();
   int rc = validate_intra(c, 0);
   if (rc != kSuccess) return finish(c, rc);
+  FTR_PSAN_COLLECTIVE(c, "barrier", 0);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;
@@ -65,6 +67,7 @@ int bcast_bytes(void* buf, std::size_t n, int root, const Comm& c) {
   detail::check_alive();
   int rc = validate_intra(c, root);
   if (rc != kSuccess) return finish(c, rc);
+  FTR_PSAN_COLLECTIVE(c, "bcast_bytes", root);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;
@@ -93,6 +96,7 @@ int gather_bytes(const void* data, std::size_t n, std::vector<std::vector<std::b
   detail::check_alive();
   int rc = validate_intra(c, root);
   if (rc != kSuccess) return finish(c, rc);
+  FTR_PSAN_COLLECTIVE(c, "gather_bytes", root);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;

@@ -6,6 +6,7 @@
 #include "common/errors.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 
@@ -37,6 +38,7 @@ int comm_split(const Comm& c, int color, int key, Comm* out) {
   chaos_point("split");
   *out = Comm{};
   if (c.is_null() || c.is_inter()) return kErrComm;
+  FTR_PSAN_COLLECTIVE(c, "comm_split", -1);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;
@@ -124,6 +126,7 @@ int comm_dup(const Comm& c, Comm* out) { return comm_split(c, 0, c.rank(), out);
 
 int comm_free(Comm* c) {
   if (c == nullptr) return kErrArg;
+  FTR_PSAN_FREE(*c);
   *c = Comm{};
   return kSuccess;
 }

@@ -5,6 +5,7 @@
 
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 #include "ftmpi/request.hpp"
 
 namespace ftmpi {
@@ -33,6 +34,7 @@ int irecv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& 
                 Request* req) {
   detail::check_alive();
   if (c.is_null()) return kErrComm;
+  FTR_PSAN_USE(c, "irecv_bytes");
   *req = Request{};
   req->kind_ = Request::Kind::Recv;
   req->comm = c;
@@ -116,7 +118,12 @@ int iprobe(int src, int tag, const Comm& c, int* flag, Status* status) {
   detail::check_alive();
   *flag = 0;
   if (c.is_null()) return kErrComm;
-  if (c.is_revoked()) return kErrRevoked;
+  FTR_PSAN_USE(c, "iprobe");
+  if (c.is_revoked()) {
+    // Returned directly, not via finish(): mark the observation here.
+    FTR_PSAN_REVOKE_OBSERVED(c, "error return (kErrRevoked)");
+    return kErrRevoked;
+  }
   ProcessState& ps = detail::self();
   const bool inter = c.is_inter();
   std::lock_guard<std::mutex> lock(ps.mu);

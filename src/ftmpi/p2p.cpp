@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 namespace detail {
@@ -192,6 +193,9 @@ int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
 }  // namespace detail
 
 int finish(const Comm& c, int code) {
+  // The first kErrRevoked returned to the caller is the rank's *observation*
+  // of the revocation; from here on only the salvage set may touch `c`.
+  if (code == kErrRevoked) FTR_PSAN_REVOKE_OBSERVED(c, "error return (kErrRevoked)");
   if (code != kSuccess && !c.is_null() && c.local().errhandler) {
     Comm handle = c;
     c.local().errhandler(handle, code);
@@ -202,6 +206,7 @@ int finish(const Comm& c, int code) {
 int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c) {
   detail::check_alive();
   if (c.is_null()) return kErrComm;
+  FTR_PSAN_USE(c, "send_bytes");
   if (tag < 0 || dest < 0 || dest >= (c.is_inter() ? c.remote_size() : c.size())) {
     return finish(c, kErrArg);
   }
@@ -224,6 +229,7 @@ int recv_bytes(void* buf, std::size_t max_bytes, int src, int tag, const Comm& c
                Status* status) {
   detail::check_alive();
   if (c.is_null()) return kErrComm;
+  FTR_PSAN_USE(c, "recv_bytes");
   if (c.is_revoked()) return finish(c, kErrRevoked);
   const Group& senders = c.is_inter() ? c.remote_group() : c.group();
   if (src != kAnySource && (src < 0 || src >= senders.size())) return finish(c, kErrArg);

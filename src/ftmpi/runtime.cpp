@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/logging.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 
@@ -33,6 +34,9 @@ Runtime::~Runtime() {
     }
   }
   for (std::thread* t : to_join) t->join();
+  // Pids and context ids restart per Runtime (and stack Runtimes can reuse
+  // an address), so the protocol sanitizer must forget this instance.
+  FTR_PSAN_RUNTIME_DESTROYED(this);
 }
 
 void Runtime::register_app(const std::string& name, EntryFn entry) {

@@ -4,6 +4,7 @@
 
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 
@@ -12,6 +13,7 @@ int scatter_bytes(const void* send, std::size_t per_rank, void* recv, int root,
   detail::check_alive();
   if (c.is_null() || c.is_inter()) return kErrComm;
   if (root < 0 || root >= c.size()) return finish(c, kErrArg);
+  FTR_PSAN_COLLECTIVE(c, "scatter_bytes", root);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;
@@ -47,6 +49,7 @@ int scatterv_bytes(const std::vector<std::vector<std::byte>>& parts,
   detail::check_alive();
   if (c.is_null() || c.is_inter()) return kErrComm;
   if (root < 0 || root >= c.size()) return finish(c, kErrArg);
+  FTR_PSAN_COLLECTIVE(c, "scatterv_bytes", root);
   if (c.is_revoked()) return finish(c, kErrRevoked);
 
   const std::uint64_t id = c.context()->id;

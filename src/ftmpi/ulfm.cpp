@@ -18,12 +18,15 @@
 #include "common/logging.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/psan.hpp"
 
 namespace ftmpi {
 
 int comm_revoke(const Comm& c) {
   detail::check_alive();
   if (c.is_null()) return kErrComm;
+  // The revoker observes its own revocation immediately.
+  FTR_PSAN_SELF_REVOKE(c, "comm_revoke");
   c.context()->revoked.store(true);
   // Wake every blocked process so operations pending on this communicator
   // observe the revocation.  (A real implementation floods a revoke token;
@@ -173,17 +176,33 @@ int comm_agree(const Comm& c, int* flag) {
     if (coord == me.pid) {
       int agreed = *flag;
       std::vector<int> confirmed{live[0]};
+#ifdef FTR_PSAN
+      std::vector<psan::AgreeReport> reports;
+      reports.push_back({live[0], me.pid, psan::stream_hash(c), psan::current_epoch()});
+#endif
       for (size_t i = 1; i < live.size(); ++i) {
         const ProcId p = g.pids[static_cast<size_t>(live[i])];
         std::vector<std::byte> payload;
         if (detail::ctrl_recv(p, id, tags::kAgreeUp, &payload) == kSuccess) {
+#ifdef FTR_PSAN
+          const auto up = detail::unpack<psan::AgreeWire>(payload);
+          agreed &= up.flag;
+          reports.push_back({live[i], p, up.hash, up.epoch});
+#else
           agreed &= detail::unpack<int>(payload);
+#endif
           confirmed.push_back(live[i]);
         }
       }
       detail::charge_coordinator_rounds(2, static_cast<int>(confirmed.size()));
 
       const std::vector<ProcId> dead = detail::rt().dead_members(g);
+#ifdef FTR_PSAN
+      // Verify (and on success reset) the collective streams before any
+      // reply goes out: every confirmed member is still blocked on the
+      // verdict, so its stream cannot advance under us.
+      psan::verify_at_agree(c, g, reports, dead.empty());
+#endif
       std::vector<std::byte> reply(sizeof(AgreeReply) + dead.size() * sizeof(ProcId));
       const AgreeReply head{agreed, static_cast<int>(dead.size())};
       std::memcpy(reply.data(), &head, sizeof(head));
@@ -208,9 +227,16 @@ int comm_agree(const Comm& c, int* flag) {
       return kSuccess;
     }
 
+#ifdef FTR_PSAN
+    const psan::AgreeWire up{*flag, 0, psan::stream_hash(c), psan::current_epoch()};
+    if (detail::ctrl_send(coord, id, tags::kAgreeUp, &up, sizeof(up)) != kSuccess) {
+      continue;
+    }
+#else
     if (detail::ctrl_send(coord, id, tags::kAgreeUp, flag, sizeof(*flag)) != kSuccess) {
       continue;
     }
+#endif
     std::vector<std::byte> payload;
     if (detail::ctrl_recv(coord, id, tags::kAgreeDown, &payload) != kSuccess) {
       continue;

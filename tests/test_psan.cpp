@@ -1,0 +1,170 @@
+// Tests for the runtime protocol sanitizer (FTR_SANITIZE=protocol).
+//
+// The sanitizer is the dynamic cross-check for ftlint's FTL005/FTL006: a
+// rank that keeps using a communicator after *observing* its revocation, a
+// double-free, or a collective call sequence that diverges between ranks
+// must abort the run with a "ftmpi-psan:" diagnostic naming the call sites.
+// The positive tests pin that the sanctioned salvage idioms and the normal
+// collective protocol stay silent; the death tests seed each violation
+// class and match the diagnostic.  Without FTR_PSAN the whole suite is a
+// single explicit skip, so a plain build still registers (and documents)
+// the suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "ftmpi/api.hpp"
+#include "ftmpi/runtime.hpp"
+
+#ifndef FTR_PSAN
+
+TEST(Psan, RequiresProtocolSanitizerBuild) {
+  GTEST_SKIP() << "built without FTR_SANITIZE=protocol; the protocol "
+                  "sanitizer is compiled out";
+}
+
+#else
+
+using namespace ftmpi;
+
+namespace {
+
+Runtime::Options small_opts() {
+  Runtime::Options opt;
+  opt.slots_per_host = 4;
+  opt.real_time_limit_sec = 60.0;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Psan, CleanProtocolRunStaysSilent) {
+  // A full window of matched collectives, verified and reset at an agree,
+  // then a second window: the sanitizer must not interfere.
+  Runtime rt(small_opts());
+  std::atomic<int> failures{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    auto check = [&](int rc) {
+      if (rc != kSuccess) ++failures;
+    };
+    check(barrier(w));
+    int v = w.rank() == 0 ? 41 : 0;
+    check(bcast(&v, 1, 0, w));
+    if (v != 41) ++failures;
+    Comm half;
+    check(comm_split(w, w.rank() % 2, w.rank(), &half));
+    check(barrier(half));
+    check(comm_free(&half));
+    int flag = 1;
+    check(comm_agree(w, &flag));  // verifies + resets the stream on w
+    if (flag != 1) ++failures;
+    check(barrier(w));
+    check(comm_agree(w, &flag));  // second window verifies independently
+  });
+  EXPECT_EQ(rt.run("main", 4), 0);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Psan, SalvageAfterRevokeIsAllowed) {
+  // The paper's drain idiom: after observing a revocation, a rank may still
+  // probe/receive buffered messages, shrink, agree, and free — exactly the
+  // set ftlint sanctions for FTL006.
+  Runtime rt(small_opts());
+  std::atomic<int> failures{0};
+  std::atomic<int> drained{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    auto check = [&](int rc) {
+      if (rc != kSuccess) ++failures;
+    };
+    if (w.rank() == 1) {
+      const double payload = 2.5;
+      check(send(&payload, 1, 0, 7, w));
+    }
+    check(barrier(w));  // orders the eager send before the revoke
+    if (w.rank() == 0) {
+      check(comm_revoke(w));
+      int have = 0;
+      Status st;
+      check(iprobe_buffered(kAnySource, 7, w, &have, &st));
+      if (have != 0) {
+        double got = 0.0;
+        check(recv_buffered(&got, sizeof(got), st.source, 7, w, &st));
+        if (got == 2.5) ++drained;
+      }
+    }
+    Comm shrunk;
+    check(comm_shrink(w, &shrunk));
+    check(barrier(shrunk));
+    check(comm_free(&shrunk));
+  });
+  EXPECT_EQ(rt.run("main", 2), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(drained.load(), 1);
+}
+
+using PsanDeath = ::testing::Test;
+
+TEST(PsanDeath, UseAfterObservedRevokeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_opts());
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          if (w.rank() == 0) {
+            (void)comm_revoke(w);  // rank 0 has now observed the revocation
+            const int v = 1;
+            (void)send(&v, 1, 1, 0, w);  // non-sanctioned use: must abort
+          }
+        });
+        rt.run("main", 2);
+      },
+      "ftmpi-psan: use-after-revoke");
+}
+
+TEST(PsanDeath, DoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_opts());
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          Comm a;
+          (void)comm_split(w, 0, 0, &a);
+          Comm b = a;  // second handle to the same context
+          (void)comm_free(&a);
+          (void)comm_free(&b);  // must abort
+        });
+        rt.run("main", 1);
+      },
+      "ftmpi-psan: double-free");
+}
+
+TEST(PsanDeath, DivergentCollectiveSequenceAbortsAtAgree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_opts());
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          // Rank 0 runs a broadcast the other rank never enters.  The eager
+          // root-side sends complete "successfully", so only the stream
+          // hashes carried by the next agree can expose the divergence.
+          if (w.rank() == 0) {
+            int v = 1;
+            (void)bcast(&v, 1, 0, w);
+          }
+          int flag = 1;
+          (void)comm_agree(w, &flag);  // must abort at verification
+        });
+        rt.run("main", 2);
+      },
+      "ftmpi-psan: collective sequence divergence");
+}
+
+#endif  // FTR_PSAN

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Chaos-label coverage sweep (registered with ctest as chaos_label_coverage).
+
+The runtime's chaos injection is label-addressed: every protocol phase
+boundary in src/ fires `chaos_point("<label>")`, and chaos tests kill
+processes at labels by name.  A label that no test ever names is a recovery
+path with zero kill coverage — exactly the place the next cascading-failure
+bug hides.  This sweep extracts every label fired under src/ and demands
+that each one appears (as the same quoted string) in at least one file under
+tests/; it fails with the orphan list otherwise.
+
+Zero extracted labels is also a failure: it would mean the extraction regex
+rotted, not that the codebase stopped firing chaos points.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+TESTS = os.path.join(REPO, "tests")
+
+_LABEL_RE = re.compile(r'chaos_point\(\s*"([^"]+)"\s*\)')
+
+
+def cxx_files(root):
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    labels = {}  # label -> first src occurrence "file:line"
+    for path in cxx_files(SRC):
+        with open(path, encoding="utf-8") as fh:
+            for lineno, text in enumerate(fh, start=1):
+                for label in _LABEL_RE.findall(text):
+                    rel = os.path.relpath(path, REPO)
+                    labels.setdefault(label, f"{rel}:{lineno}")
+    if not labels:
+        print("FAIL: no chaos_point labels found under src/ — extraction broken?")
+        return 1
+
+    test_text = ""
+    for path in cxx_files(TESTS):
+        with open(path, encoding="utf-8") as fh:
+            test_text += fh.read()
+
+    orphans = {l: where for l, where in sorted(labels.items())
+               if f'"{l}"' not in test_text}
+    for label, where in orphans.items():
+        print(f"FAIL: chaos label \"{label}\" (fired at {where}) is exercised "
+              f"by no test under tests/")
+    if orphans:
+        print(f"{len(orphans)}/{len(labels)} chaos labels uncovered — add a "
+              f"chaos test that kills at each label, or retire the label")
+        return 1
+
+    print(f"PASS: all {len(labels)} chaos labels are exercised by tests: "
+          + ", ".join(sorted(labels)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

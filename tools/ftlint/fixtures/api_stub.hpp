@@ -22,9 +22,15 @@ FTR_NODISCARD int isend(const double* buf, int count, int dest, int tag, const C
                         Request* req);
 FTR_NODISCARD int wait(Request* req, Status* st);
 FTR_NODISCARD int barrier(const Comm& c);
+FTR_NODISCARD int bcast_bytes(void* buf, unsigned long n, int root, const Comm& c);
 FTR_NODISCARD int comm_revoke(const Comm& c);
 FTR_NODISCARD int comm_shrink(const Comm& c, Comm* out);
 FTR_NODISCARD int comm_agree(const Comm& c, int* flag);
+FTR_NODISCARD int comm_free(Comm* c);
+// Sanctioned salvage paths: legal on a revoked communicator.
+FTR_NODISCARD int iprobe_buffered(const Comm& c, int tag, int* flag, Status* st);
+FTR_NODISCARD int recv_buffered(double* buf, int count, int src, int tag,
+                                const Comm& c, Status* st);
 
 namespace compat {
 using MPI_Comm = Comm;

@@ -14,7 +14,7 @@ int drop_on_floor(ftmpi::Comm& world) {
 }
 
 int void_cast_dodge(ftmpi::Comm& world) {
-  (void)ftmpi::comm_revoke(world);  // EXPECT: FTL001
+  (void)ftmpi::barrier(world);  // EXPECT: FTL001
   return ftmpi::barrier(world);  // returned: no finding
 }
 

@@ -1,0 +1,47 @@
+// FTL005 seeds: collectives guarded by rank-dependent branches while the
+// other ranks of the communicator take a collective-free path — the ranks
+// that entered the collective wait forever for peers that never arrive.
+#include "api_stub.hpp"
+
+using ftmpi::Comm;
+
+// Case 1: direct — only rank 0 enters the barrier.
+int sync_if_root(const Comm& c, int my_rank) {
+  int rc = 0;
+  if (my_rank == 0) {
+    rc = ftmpi::barrier(c);  // EXPECT: FTL005
+  }
+  return rc;
+}
+
+// Case 2: early-exit guard — the non-root ranks return before the agree, so
+// rank 0 is alone in it.
+int agree_after_guard(const Comm& c, int my_rank) {
+  if (my_rank != 0) return 0;
+  int flag = 1;
+  int rc = ftmpi::comm_agree(c, &flag);  // EXPECT: FTL005
+  return rc;
+}
+
+// Case 3: interprocedural — the rank-guarded helper reaches bcast_bytes two
+// frames down; the finding lands on the guarded call site.
+int deep_sync(double* v, const Comm& c) {
+  return ftmpi::bcast_bytes(v, 8, 0, c);
+}
+
+int notify_if_root(double* v, const Comm& c, int wrank) {
+  int rc = 0;
+  if (wrank == 0) {
+    rc = deep_sync(v, c);  // EXPECT: FTL005
+  }
+  return rc;
+}
+
+// Case 4: the collective hides on the else side.
+int split_roles(const Comm& c, int my_rank) {
+  if (my_rank == 0) {
+    return 0;
+  } else {
+    return ftmpi::barrier(c);  // EXPECT: FTL005
+  }
+}

@@ -1,0 +1,54 @@
+// FTL006 seeds: communicator-lifecycle violations — use-after-revoke
+// outside the sanctioned salvage paths, double-free, use-after-free, and a
+// created handle that escapes its function without an owner.
+#include "api_stub.hpp"
+
+using ftmpi::Comm;
+
+// Case 1: the same rank revokes, then posts a plain recv on the revoked
+// communicator (only iprobe_buffered/recv_buffered may salvage from it).
+int revoke_then_use(Comm& dead, double* buf) {
+  int rc = ftmpi::comm_revoke(dead);
+  ftmpi::Status st;
+  rc = ftmpi::recv(buf, 1, 0, 0, dead, &st);  // EXPECT: FTL006
+  return rc;
+}
+
+// Case 2: two frees of the same communicator.
+int free_twice(const ftmpi::compat::MPI_Comm& world) {
+  ftmpi::compat::MPI_Comm sub;
+  int rc = ftmpi::compat::MPI_Comm_split(world, 0, 0, &sub);
+  rc = ftmpi::compat::MPI_Comm_free(&sub);
+  rc = ftmpi::compat::MPI_Comm_free(&sub);  // EXPECT: FTL006
+  return rc;
+}
+
+// Case 3: the split product never gets an owner — not freed, not
+// guard-scoped, not returned, not stored.
+int leak_split(const ftmpi::compat::MPI_Comm& world) {
+  ftmpi::compat::MPI_Comm sub;
+  int rc = ftmpi::compat::MPI_Comm_split(world, 0, 0, &sub);  // EXPECT: FTL006
+  return rc;
+}
+
+// Case 4: interprocedural — the helper revokes its parameter; the caller
+// keeps using the handle as if it were alive.
+void kill_quietly(const Comm& doomed) {
+  int rc = ftmpi::comm_revoke(doomed);
+  if (rc != 0) return;
+}
+
+int use_after_helper_revoke(const Comm& c) {
+  kill_quietly(c);
+  int rc = ftmpi::barrier(c);  // EXPECT: FTL006
+  return rc;
+}
+
+// Case 5: use of a handle after it was freed.
+int use_after_free(const ftmpi::compat::MPI_Comm& world) {
+  ftmpi::compat::MPI_Comm sub;
+  int rc = ftmpi::compat::MPI_Comm_split(world, 0, 0, &sub);
+  rc = ftmpi::compat::MPI_Comm_free(&sub);
+  rc = ftmpi::barrier(sub);  // EXPECT: FTL006
+  return rc;
+}

@@ -1,0 +1,10 @@
+// FTL000 stale-suppression seed: a well-formed `ftlint:allow` whose finding
+// no longer exists.  Suppression rot is a hole the next real finding falls
+// through, so an allow that silenced nothing this run is itself reported.
+#include "api_stub.hpp"
+
+int tidy(ftmpi::Comm& world) {
+  // ftlint:allow(FTL001 historical: this call used to drop its result)  // EXPECT: FTL000
+  const int rc = ftmpi::barrier(world);
+  return rc;
+}

@@ -1,0 +1,43 @@
+// Clean fixture for FTL005: rank-dependent control flow that is *matched*
+// (or touches no collectives at all) stays silent.
+#include "api_stub.hpp"
+
+using ftmpi::Comm;
+
+// Both sides of the branch reach the same collective: every rank enters it.
+int both_sides(const Comm& c, int my_rank) {
+  int rc = 0;
+  if (my_rank == 0) {
+    rc = ftmpi::barrier(c);
+  } else {
+    rc = ftmpi::barrier(c);
+  }
+  return rc;
+}
+
+// Rank-guarded point-to-point is the paper's own idiom (the root
+// redistributes ranks after repair); only collectives must match.
+int root_sends(const Comm& c, int my_rank, double* buf) {
+  int rc = 0;
+  if (my_rank == 0) rc = ftmpi::send(buf, 1, 1, 0, c);
+  return rc;
+}
+
+// The collective sits outside the rank branch: every rank reaches it.
+int guard_then_sync(const Comm& c, int my_rank, double* buf) {
+  if (my_rank == 0) {
+    buf[0] = 1.0;
+  }
+  return ftmpi::barrier(c);
+}
+
+// A sanctioned rank-asymmetric site documents itself with the suppression
+// idiom — the justification is mandatory (FTL000 enforces it).
+int asymmetric_by_design(const Comm& c, int my_rank) {
+  int rc = 0;
+  if (my_rank == 0) {
+    // ftlint:allow(FTL005 the other ranks enter this same barrier from their recovery path)
+    rc = ftmpi::barrier(c);
+  }
+  return rc;
+}

@@ -13,8 +13,16 @@ Enforced rules (details in docs/ARCHITECTURE.md, "Enforced invariants"):
           no new/malloc and no container growth anywhere they can reach.
   FTL004  the shrink/agree/spawn/merge/replication protocol functions must
           contain a `chaos_point(...)` hook so fault injection reaches them.
+  FTL005  collective matching (interprocedural, tools/ftlint/ftmodel.py): a
+          collective reachable only under a rank-dependent branch, while the
+          other ranks take a collective-free path, is a deadlock seed.
+  FTL006  communicator lifecycle (interprocedural): use-after-revoke outside
+          the sanctioned salvage paths (iprobe_buffered/recv_buffered and
+          the shrink/agree/free repair set), double-free, and handles that
+          escape a function without an owner.
   FTL000  suppression hygiene: `// ftlint:allow(FTLxxx reason)` requires a
-          valid rule id and a non-empty justification.
+          valid rule id and a non-empty justification, and a suppression
+          that silenced nothing this run is reported as stale.
 
 Suppress a finding with `// ftlint:allow(FTLxxx reason)` on the same line or
 the line directly above it.
@@ -24,8 +32,11 @@ Usage:
   ftlint.py --root src --compile-commands build/compile_commands.json
   ftlint.py file.cpp other.hpp                 # lint specific files
   ftlint.py --engine lex|clang|auto ...        # engine selection
+  ftlint.py --format github ...                # ::error CI annotations
 
-Exit status: 0 = clean, 1 = findings, 2 = usage error.
+Exit status: 0 = clean, 1 = findings, 2 = usage or internal error.  The
+contract is strict in both directions: a crashed engine exits 2, never 0 —
+"the checker died" must not be mistaken for "the tree is clean".
 """
 
 from __future__ import annotations
@@ -39,32 +50,32 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import ftlint_lex  # noqa: E402
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(prog="ftlint", description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("--root", action="append", default=[],
-                    help="directory tree to lint (repeatable)")
-    ap.add_argument("--compile-commands", default=None,
-                    help="compile_commands.json for the clang engine")
-    ap.add_argument("--engine", choices=("auto", "lex", "clang"), default="auto",
-                    help="auto = lexer engine, plus the libclang cross-check "
-                         "when clang.cindex is importable (default)")
-    ap.add_argument("--rules", default="FTL000,FTL001,FTL002,FTL003,FTL004",
-                    help="comma-separated rule ids to run")
-    ap.add_argument("files", nargs="*", help="extra files to lint")
-    args = ap.parse_args(argv)
+def _render_github(f: "ftlint_lex.Finding") -> str:
+    """GitHub Actions workflow-command annotation: the runner attaches it to
+    the PR diff at (file, line).  Properties must not contain newlines; the
+    message escapes %, CR and LF per the workflow-command grammar."""
+    msg = (f.message.replace("%", "%25").replace("\r", "%0D")
+           .replace("\n", "%0A"))
+    return f"::error file={f.path},line={f.line},title={f.rule}::{msg}"
 
-    if not args.root and not args.files:
-        ap.error("give at least one --root or file")
+
+def run_checker(args) -> int:
     rules = {r.strip() for r in args.rules.split(",") if r.strip()}
     bad = rules - set(ftlint_lex.RULE_IDS)
     if bad:
-        ap.error(f"unknown rule ids: {', '.join(sorted(bad))}")
+        print(f"ftlint: unknown rule ids: {', '.join(sorted(bad))}",
+              file=sys.stderr)
+        return 2
 
     files = ftlint_lex.collect_files(args.root, args.files)
     if not files:
         print("ftlint: no input files", file=sys.stderr)
         return 2
+
+    if os.environ.get("FTLINT_INJECT_CRASH"):
+        # Test hook for the exit-code contract (see test_fixtures.py): a
+        # deliberately crashed engine must surface as exit 2, not 0.
+        raise RuntimeError("FTLINT_INJECT_CRASH set: simulated engine crash")
 
     engine = ftlint_lex.Engine(files)
     findings = engine.run(rules)
@@ -89,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     for f in findings:
-        print(f.render())
+        print(_render_github(f) if args.format == "github" else f.render())
     n = len(findings)
     if n:
         print(f"ftlint: {n} finding{'s' if n != 1 else ''} "
@@ -97,6 +108,38 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"ftlint: clean ({len(files)} files)", file=sys.stderr)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="ftlint", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", action="append", default=[],
+                    help="directory tree to lint (repeatable)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang engine")
+    ap.add_argument("--engine", choices=("auto", "lex", "clang"), default="auto",
+                    help="auto = lexer engine, plus the libclang cross-check "
+                         "when clang.cindex is importable (default)")
+    ap.add_argument("--rules",
+                    default="FTL000,FTL001,FTL002,FTL003,FTL004,FTL005,FTL006",
+                    help="comma-separated rule ids to run")
+    ap.add_argument("--format", choices=("human", "github"), default="human",
+                    help="finding output format: human (default) or GitHub "
+                         "Actions ::error annotations")
+    ap.add_argument("files", nargs="*", help="extra files to lint")
+    args = ap.parse_args(argv)
+
+    if not args.root and not args.files:
+        ap.error("give at least one --root or file")
+
+    try:
+        return run_checker(args)
+    except Exception:  # noqa: BLE001 — contract: a crashed engine is exit 2
+        import traceback
+        traceback.print_exc()
+        print("ftlint: internal error (see traceback above) — treating the "
+              "run as failed, NOT as clean", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

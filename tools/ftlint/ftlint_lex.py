@@ -19,7 +19,8 @@ import os
 import re
 from typing import Iterable
 
-RULE_IDS = ("FTL000", "FTL001", "FTL002", "FTL003", "FTL004")
+RULE_IDS = ("FTL000", "FTL001", "FTL002", "FTL003", "FTL004", "FTL005",
+            "FTL006")
 
 # Keywords/punctuation that precede a *discarded* expression-statement call:
 # the call begins a statement, so nothing consumes its value.
@@ -497,6 +498,25 @@ class Engine:
                         "fault injection cannot reach this protocol step"))
         return out
 
+    # -- stale-suppression audit --------------------------------------------
+    def _stale_suppressions(self, rules: set[str]) -> list[Finding]:
+        """A well-formed suppression that silenced nothing this run is rot:
+        the violation it excused was fixed (or never existed), and a stale
+        allow is a hole the next real finding falls through.  Only audited
+        for rules that actually ran — a subset run cannot call suppressions
+        of the skipped rules stale."""
+        out = []
+        for sf in self.sources:
+            for sup in sf.suppressions:
+                if (sup.rule is not None and sup.reason and not sup.used
+                        and sup.rule in rules):
+                    out.append(Finding(
+                        sf.path, sup.line, "FTL000",
+                        f"stale suppression: this ftlint:allow({sup.rule}) "
+                        "silenced nothing in this run — remove it (or fix "
+                        "the rule id/line it was meant to cover)"))
+        return out
+
     # -- entry point --------------------------------------------------------
     def run(self, rules: set[str]) -> list[Finding]:
         findings: list[Finding] = []
@@ -508,8 +528,13 @@ class Engine:
             findings.extend(self._check_ftl003())
         if "FTL004" in rules:
             findings.extend(self._check_ftl004())
+        if rules & {"FTL005", "FTL006"}:
+            import ftmodel  # late import: ftmodel imports this module
+            findings.extend(ftmodel.build_and_check(self, rules))
         if "FTL000" in rules:
             findings.extend(self._suppression_findings())
+            # After every rule has run (and marked the suppressions it hit).
+            findings.extend(self._stale_suppressions(rules))
         findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return findings
 

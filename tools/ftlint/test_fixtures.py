@@ -90,6 +90,56 @@ def main():
               f"{clean.returncode}\n{clean.stdout}{clean.stderr}")
         ok = False
 
+    # Exit code 2 = usage or internal error, strictly distinct from both
+    # "clean" and "findings".  Three seeds: no inputs at all, an unknown
+    # rule id, and a deliberately crashed engine (FTLINT_INJECT_CRASH) —
+    # the last one pins the "a dead checker must not look clean" half of
+    # the contract.
+    import tempfile
+    for label, argv, env in (
+        ("no inputs", [sys.executable, cli], None),
+        ("empty root", [sys.executable, cli, "--root",
+                        tempfile.mkdtemp(prefix="ftlint_empty_")], None),
+        ("unknown rule", [sys.executable, cli, "--rules", "FTL999",
+                          *good_files], None),
+        ("crashed engine", [sys.executable, cli, "--engine", "lex",
+                            "--root", FIXTURES],
+         {**os.environ, "FTLINT_INJECT_CRASH": "1"}),
+    ):
+        r = subprocess.run(argv, capture_output=True, text=True, env=env)
+        if r.returncode != 2:
+            print(f"FAIL: CLI ({label}): expected exit 2, got "
+                  f"{r.returncode}\n{r.stdout}{r.stderr}")
+            ok = False
+
+    # --format=github: every finding becomes a ::error annotation carrying
+    # the same (file, line, rule) triple the human format reports.
+    gh = subprocess.run(
+        [sys.executable, cli, "--engine", "lex", "--format", "github",
+         "--root", FIXTURES],
+        capture_output=True, text=True)
+    gh_re = re.compile(r"^::error file=(.+),line=(\d+),title=(FTL\d{3})::")
+    gh_triples = set()
+    gh_ok = gh.returncode == 1
+    for line in gh.stdout.splitlines():
+        if not line.strip():
+            continue
+        m = gh_re.match(line)
+        if not m:
+            print(f"FAIL: --format=github produced a non-annotation line: "
+                  f"{line!r}")
+            gh_ok = False
+            continue
+        gh_triples.add((os.path.relpath(m.group(1), FIXTURES),
+                        int(m.group(2)), m.group(3)))
+    if gh_triples != expected:
+        print(f"FAIL: --format=github triples diverge from the corpus: "
+              f"missing {sorted(expected - gh_triples)}, "
+              f"spurious {sorted(gh_triples - expected)}")
+        gh_ok = False
+    if not gh_ok:
+        ok = False
+
     if ok:
         print(f"PASS: {len(expected)} seeded violations reported exactly, "
               f"clean fixtures silent, CLI exit codes correct "
