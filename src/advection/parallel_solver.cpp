@@ -34,6 +34,8 @@ int ParallelSolver::step() {
   const double hy = 1.0 / static_cast<double>(decomp_.unique_ny());
   int rc = ftr::grid::exchange_x(field_, decomp_, comm_);
   if (rc != ftmpi::kSuccess) return rc;
+  torn_ = true;  // the x sweep mutates the field; until the step completes,
+                 // an error leaves a half-updated state behind
   sweep_x(field_, problem_.ax * dt_ / hx);
   rc = ftr::grid::exchange_y(field_, decomp_, comm_);
   if (rc != ftmpi::kSuccess) return rc;
@@ -42,6 +44,7 @@ int ParallelSolver::step() {
   ftmpi::advance(2.0 * static_cast<double>(field_.block().cells()) /
                  ftmpi::runtime().cost().cell_update_rate);
   ++step_;
+  torn_ = false;
   return ftmpi::kSuccess;
 }
 

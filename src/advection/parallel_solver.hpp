@@ -32,7 +32,16 @@ class ParallelSolver {
   int run(long steps);
 
   [[nodiscard]] long steps_done() const { return step_; }
-  void set_steps_done(long s) { step_ = s; }
+  void set_steps_done(long s) {
+    step_ = s;
+    torn_ = false;  // the caller just installed a consistent state
+  }
+  /// True when the last step() failed *after* the field was partially
+  /// updated (the x sweep ran but the step did not complete).  steps_done()
+  /// alone cannot distinguish this state from a clean inter-step boundary;
+  /// recovery paths that want to keep stepping instead of rolling back must
+  /// check it.  Cleared by set_steps_done() and by a completed step.
+  [[nodiscard]] bool torn() const { return torn_; }
   [[nodiscard]] double time() const { return static_cast<double>(step_) * dt_; }
   [[nodiscard]] double dt() const { return dt_; }
   [[nodiscard]] const ftmpi::Comm& comm() const { return comm_; }
@@ -61,6 +70,7 @@ class ParallelSolver {
   ftr::grid::Decomposition decomp_;
   ftr::grid::LocalField field_;
   long step_ = 0;
+  bool torn_ = false;
 };
 
 }  // namespace ftr::advection

@@ -5,8 +5,10 @@
 // starts; this subsystem extends that to failures *during* recovery — the
 // cascading case.  A ChaosInjector installs a Runtime hook that fires at
 // named protocol phase boundaries (see ftmpi::chaos_point): "shrink",
-// "agree", "spawn", "spawn.done", "merge", "split", "ckpt.write" and
-// "buddy.send" (the diskless buddy replication boundary).  Each
+// "agree", "agree.tree" (the tree-structured agreement), "spawn",
+// "spawn.done", "merge", "split", "ckpt.write", "buddy.send" (the diskless
+// buddy replication boundary), and the failure-detector duties
+// "detector.heartbeat" / "detector.gossip".  Each
 // scheduled event names a victim pid, a phase, and an occurrence number; the
 // victim is killed at the entry of the occurrence-th time *it* reaches that
 // phase.  Occurrences are counted per (pid, phase) on the victim's own

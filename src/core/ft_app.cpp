@@ -91,6 +91,16 @@ FtApp::FtApp(AppConfig cfg) : cfg_(std::move(cfg)), layout_(build_layout(cfg_.la
     }
   }
   if (const char* e = std::getenv("FTR_BUDDY_EVERY")) cfg_.buddy_every = std::atol(e);
+  if (const char* e = std::getenv("FTR_PROACTIVE")) {
+    const std::string v(e);
+    if (v == "1" || v == "on") {
+      cfg_.proactive_recovery = true;
+    } else if (v == "0" || v == "off") {
+      cfg_.proactive_recovery = false;
+    } else if (!v.empty()) {
+      FTR_WARN("ft_app: ignoring unknown FTR_PROACTIVE value '%s'", v.c_str());
+    }
+  }
 }
 
 ftr::rec::PlannerMode FtApp::planner_mode() const {
@@ -174,11 +184,48 @@ void FtApp::maybe_self_kill(const RankState& st, long step) {
 int FtApp::solve_to(RankState& st, long target) {
   while (st.solver->steps_done() < target) {
     maybe_self_kill(st, st.solver->steps_done());
+    // Detector notification: leave the solve loop for the detection point
+    // as soon as a failure anywhere in the world is known locally, instead
+    // of solving on until a collective on the broken communicator fails.
+    if (cfg_.proactive_recovery && proactive_failure_pending(st)) {
+      return ftmpi::kErrProcFailed;
+    }
     const int rc = st.solver->step();
     if (rc != kSuccess) return rc;
     buddy_tick(st);
   }
   return kSuccess;
+}
+
+bool FtApp::proactive_failure_pending(RankState& st) {
+  // Degraded (shrunken) worlds renumber ranks, so the rank->grid mapping
+  // below no longer applies; leave detection to the reactive path there.
+  if (!ftmpi::detector_enabled() || st.world.is_null() || st.degraded) return false;
+  if (!ftmpi::detector_knows_failure_in(st.world)) return false;
+  // Arm recovery while the pre-repair world is still in hand.  Work out
+  // which grids presumably lost a member; when this rank's grid is a
+  // likely recovery source for them, harvest in-flight buddy replicas now
+  // (the world swap inside reconstruct() would orphan them).  The facts
+  // here are *local beliefs* — the negotiated plan after the repair is
+  // authoritative; pre-staging merely warms the sources it will pick from.
+  std::set<int> presumed;
+  for (const ftmpi::ProcId pid : ftmpi::detector_known_failed()) {
+    const int wr = st.world.group().rank_of(pid);
+    if (wr < 0) continue;
+    const int g = layout_.grid_of_rank(wr);
+    if (g >= 0) presumed.insert(g);
+  }
+  if (presumed.empty()) return false;  // e.g. a stale record from before a repair
+  const std::vector<int> sources = ftr::rec::prestage_sources(
+      layout_.slots, planner_mode(), std::vector<int>(presumed.begin(), presumed.end()));
+  if (std::find(sources.begin(), sources.end(), st.grid) != sources.end()) {
+    drain_buddies(st);
+    ftmpi::runtime().add(keys::kProactivePrestaged, 1.0);
+  }
+  ftmpi::runtime().add(keys::kProactiveExits, 1.0);
+  FTR_DEBUG("ft_app: rank %d leaves the solve loop proactively (%d grid(s) presumed lost)",
+            st.wrank, static_cast<int>(presumed.size()));
+  return true;
 }
 
 // --- main flow ---------------------------------------------------------------
@@ -390,6 +437,48 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
         layout_.slots[static_cast<size_t>(st.grid)].level, cfg_.problem, st.dt, st.gcomm);
   } else {
     st.solver->set_comm(st.gcomm);
+  }
+
+  // 2b. Proactive exits can leave grids *untouched* by the failure short of
+  //     the target they were solving to (a rank leaves as soon as gossip
+  //     reaches it), and — because gossip lands at different times — with
+  //     members at *different* step counts.  Catch up before the
+  //     restoration below: RC transfers read the partner grid at `target`,
+  //     so the reactive-path invariant (every complete grid is at `target`
+  //     when restoration starts) must be re-established.  Group-local: only
+  //     this grid's communicator is involved, and the world barrier below
+  //     resynchronizes everyone.
+  if (cfg_.proactive_recovery && st.solver && !is_child &&
+      std::find(lost_ids.begin(), lost_ids.end(), static_cast<long>(st.grid)) ==
+          lost_ids.end()) {
+    const long target = interval_target(header[0]);
+    // Two ways the group's state can be unusable for plain catch-up
+    // stepping: members at different step counts (halo generations no
+    // longer pair), or a member whose last step was torn mid-sweep by the
+    // revoke (steps_done alone cannot see that).  Either condition is
+    // group-fatal, so it is agreed by reduction.
+    int mine[2] = {static_cast<int>(st.solver->steps_done()),
+                   st.solver->torn() ? 1 : 0};
+    int lo = mine[0], hi_torn[2] = {mine[0], mine[1]};
+    int arc = ftmpi::allreduce(&mine[0], &lo, 1, ftmpi::ReduceOp::Min, st.gcomm);
+    if (arc == kSuccess) {
+      arc = ftmpi::allreduce(mine, hi_torn, 2, ftmpi::ReduceOp::Max, st.gcomm);
+    }
+    if (arc != kSuccess) {
+      // A fresh failure during catch-up: tolerated, the next detection
+      // point replans (same idiom as the restoration paths below).
+      ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.proactive.revoke");
+    } else if (lo != hi_torn[0] || hi_torn[1] != 0) {
+      // The group rolls back to its most recent group-consistent snapshot
+      // (or the initial condition) and recomputes, exactly like a failed
+      // grid.
+      cr_restore(st, std::vector<int>{st.grid}, target);
+    } else if (lo < target) {
+      const int crc = solve_to(st, target);
+      if (crc != kSuccess) {
+        ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.proactive.revoke");
+      }
+    }
   }
 
   // 3. Planner-driven restoration of the really-lost grids, timed as a

@@ -84,6 +84,12 @@ inline constexpr const char* kPlanPrefix = "recon.plan.";
 inline constexpr const char* kBuddyReplications = "recon.buddy.replications";
 inline constexpr const char* kBuddyReplBytes = "recon.buddy.repl_bytes";
 inline constexpr const char* kBuddyReplTime = "recon.buddy.repl_time";
+/// Proactive detection (runtime-wide counters, accumulated across ranks):
+/// solve-loop exits armed by the failure detector before any collective
+/// failed, and how many of those pre-staged this rank's grid as a likely
+/// recovery source (harvesting in-flight buddy replicas early).
+inline constexpr const char* kProactiveExits = "recon.proactive.exits";
+inline constexpr const char* kProactivePrestaged = "recon.proactive.prestaged";
 }  // namespace keys
 
 /// How lost grids are restored after a repair.
@@ -125,6 +131,16 @@ struct AppConfig {
   /// `buddy_every` steps each rank streams its block to its buddy rank.
   /// FTR_BUDDY_EVERY overrides.
   long buddy_every = 0;
+  /// Act on failure-detector notifications between timesteps: a rank that
+  /// learns of a failure (heartbeat timeout or gossip) leaves the solve
+  /// loop and heads for the detection point immediately, arming recovery
+  /// (planner pre-staging, early buddy harvest) instead of waiting for a
+  /// collective on the broken communicator to fail.  Off by default:
+  /// *when* gossip arrives at a given timestep depends on real message
+  /// timing, so proactive exits trade run-to-run virtual-time
+  /// reproducibility for failure-to-repair latency.  FTR_PROACTIVE
+  /// (on|off) overrides; requires the detector (FTR_DETECTOR != off).
+  bool proactive_recovery = false;
 };
 
 class FtApp {
@@ -158,6 +174,11 @@ class FtApp {
   /// Advance to `target` steps, firing planned kills; errors fall through
   /// to the next detection point.
   int solve_to(RankState& st, long target);
+
+  /// Proactive detection check between timesteps (cfg_.proactive_recovery):
+  /// true when the failure detector knows of a dead member of the current
+  /// world, after arming recovery (prestage_sources + early buddy harvest).
+  [[nodiscard]] bool proactive_failure_pending(RankState& st);
 
   /// Record the outcome of one reconstruct() on the rank state (world swap,
   /// failed-rank bookkeeping incl. degraded-rank translation, rank-0

@@ -217,6 +217,15 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
   ReconstructResult out;
   const double t_start = MPI_Wtime();
 
+  // Attribution for the failure-detector work: when the detector already
+  // knows of a dead member at entry, the barrier below merely confirms it —
+  // this rank reached the repair proactively (or a peer's knowledge beat
+  // the collective's own failure).  Recorded runtime-wide so runs can
+  // compare proactive vs reactive repair entries; free in virtual time.
+  if (!my_world.is_null() && ftmpi::detector_knows_failure_in(my_world)) {
+    ftmpi::runtime().add("recon.detector_preknown", 1.0);
+  }
+
   MPI_Errhandler new_err_hand;
   MPI_Comm_create_errhandler(mpi_error_handler, &new_err_hand);
   MPI_Comm parent;

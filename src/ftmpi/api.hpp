@@ -79,10 +79,20 @@ Runtime& runtime();
 /// Runtime's chaos hook (if any) with the phase name and the calling pid,
 /// then re-checks liveness so a hook that kills the caller unwinds it right
 /// at the boundary.  No-op off rank threads and when no hook is installed.
-/// Phases fired by the runtime: "shrink", "agree", "spawn", "spawn.done",
-/// "merge", "split"; the checkpoint store fires "ckpt.write"; the diskless
-/// buddy subsystem fires "buddy.send" before each replication send.
+/// Phases fired by the runtime: "shrink", "agree", "agree.tree", "spawn",
+/// "spawn.done", "merge", "split"; the failure detector fires
+/// "detector.heartbeat" before each ring heartbeat and "detector.gossip"
+/// before each gossip fan-out; the checkpoint store fires "ckpt.write"; the
+/// diskless buddy subsystem fires "buddy.send" before each replication send.
 void chaos_point(const char* phase);
+
+// --- failure detector -------------------------------------------------------
+// The heartbeat-ring/gossip failure detector (detector.hpp) gives every rank
+// always-on failure knowledge.  Its rank-callable surface — detector_enabled,
+// detector_epoch, detector_known_failed, detector_records and
+// detector_knows_failure_in — is declared in detector.hpp (included via
+// runtime.hpp).  Knobs: Runtime::Options::detector, or FTR_DETECTOR=ring|off,
+// FTR_HB_PERIOD / FTR_HB_SUSPECT / FTR_HB_TIMEOUT (virtual seconds).
 
 // --- error handling -----------------------------------------------------------
 
@@ -242,7 +252,34 @@ T combine(ReduceOp op, T a, T b) {
   }
   return a;
 }
+
+template <class T>
+void combine_bytes(void* acc, const void* in, int count, ReduceOp op) {
+  T* a = static_cast<T*>(acc);
+  for (int i = 0; i < count; ++i) {
+    T v{};
+    std::memcpy(&v, static_cast<const std::byte*>(in) + sizeof(T) * static_cast<std::size_t>(i),
+                sizeof(T));
+    a[i] = combine(op, a[i], v);
+  }
+}
 }  // namespace detail_reduce
+
+/// Type-erased element-wise combine used by the tree allreduce.
+using CombineBytesFn = void (*)(void* acc, const void* in, int count, ReduceOp op);
+
+/// True when the runtime routes allreduce and comm_agree through the
+/// log-depth tree protocols (Runtime::Options::tree_protocols, overridable
+/// with FTR_AGREE=tree|linear).
+[[nodiscard]] bool tree_collectives_enabled();
+
+/// Fault-tolerant log-depth allreduce: partial vectors reduce up a binary
+/// tree built over the live members, the root folds the outcome, and result
+/// plus outcome flood back down with re-routing around dead interior nodes.
+/// `buf` holds this rank's contribution on entry and the reduced vector on a
+/// successful return.
+FTR_NODISCARD int allreduce_bytes_tree(void* buf, std::size_t elem_size, int count,
+                                       ReduceOp op, CombineBytesFn combine, const Comm& c);
 
 template <class T>
 FTR_NODISCARD int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, int root, const Comm& c) {
@@ -268,6 +305,12 @@ FTR_NODISCARD int reduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, i
 
 template <class T>
 FTR_NODISCARD int allreduce(const T* sendbuf, T* recvbuf, int count, ReduceOp op, const Comm& c) {
+  static_assert(std::is_arithmetic_v<T>);
+  if (!c.is_null() && !c.is_inter() && tree_collectives_enabled()) {
+    for (int i = 0; i < count; ++i) recvbuf[i] = sendbuf[i];
+    return allreduce_bytes_tree(recvbuf, sizeof(T), count, op,
+                                &detail_reduce::combine_bytes<T>, c);
+  }
   int rc = reduce(sendbuf, recvbuf, count, op, 0, c);
   if (rc != kSuccess) return rc;
   return bcast(recvbuf, count, 0, c);

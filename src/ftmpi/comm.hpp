@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ftmpi/types.hpp"
@@ -56,6 +57,28 @@ struct CommContext {
   bool is_inter = false;
   Group group[2];  ///< group[0] only for intra; both sides for inter
   std::atomic<bool> revoked{false};
+  /// Generation counter of the tree-structured agreement.  Any participant
+  /// that observes a failure mid-protocol bumps it; every in-flight wait
+  /// carrying the old value returns kErrPending and the participant rebuilds
+  /// the tree over the current survivors (parent re-routing).  Monotonic for
+  /// the context's lifetime, so stale-generation messages are identifiable
+  /// and discarded.
+  std::atomic<std::uint64_t> agree_gen{0};
+
+  /// Verdict of the most recently decided tree-agreement round, published by
+  /// the root *before* it floods the verdict down.  A participant orphaned
+  /// by a relay that died mid-flood (its peers may already have returned and
+  /// will never re-participate) adopts the cached verdict instead of waiting
+  /// forever.  Adoption is sound because the root only decides a round once
+  /// every process still running has contributed its flag to that round.
+  struct AgreeDecision {
+    std::int64_t round = -1;  ///< agreement round this verdict belongs to
+    std::int32_t flag = 0;
+    std::vector<ProcId> dead;
+  };
+  std::mutex agree_mu;               ///< guards agree_decision
+  AgreeDecision agree_decision;
+  std::atomic<std::int64_t> agree_decided_round{-1};  ///< cheap pre-check
 
   [[nodiscard]] const Group& local_group(int side) const { return group[side]; }
   [[nodiscard]] const Group& remote_group(int side) const { return group[1 - side]; }
@@ -73,6 +96,8 @@ using ErrhandlerFn = std::function<void(Comm&, int& error_code)>;
 struct CommLocal {
   ErrhandlerFn errhandler;      ///< empty = MPI_ERRORS_RETURN
   Group acked;                  ///< failures acknowledged via OMPI_Comm_failure_ack
+  std::int64_t agree_round = 0; ///< tree-agreement rounds completed on this handle
+  std::uint64_t coll_seq = 0;   ///< tree-collective calls completed on this handle
 };
 
 /// Per-process communicator handle (value type; copies share local state,

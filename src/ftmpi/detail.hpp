@@ -40,6 +40,25 @@ struct RecvOpts {
   /// kErrRevoked (user-facing operations).  Shrink/agree, which must operate
   /// on revoked communicators, leave it null.
   CommContext* revoke_ctx = nullptr;
+  /// When set, the wait returns kErrPending as soon as *interrupt no longer
+  /// equals interrupt_expect.  The tree-structured agreement uses this to
+  /// restart every in-flight participant when any of them observes a
+  /// failure (the generation counter lives on the CommContext).
+  const std::atomic<std::uint64_t>* interrupt = nullptr;
+  std::uint64_t interrupt_expect = 0;
+  /// Optional second interrupt, same contract as `interrupt`.  Tree
+  /// protocols watch the runtime membership epoch here alongside the
+  /// agreement generation, so a wait also unblocks when the active-process
+  /// set shrinks and the caller's topology snapshot may be stale.
+  const std::atomic<std::uint64_t>* interrupt2 = nullptr;
+  std::uint64_t interrupt2_expect = 0;
+  /// When set, only messages whose payload begins with this exact 8-byte
+  /// value match.  Tree protocols stamp every message with its generation
+  /// (or collective sequence number) as the leading std::uint64_t; exact
+  /// matching keeps a restarting participant from consuming a message that
+  /// belongs to a future round it has not reached yet.
+  bool match_payload_head = false;
+  std::uint64_t payload_head = 0;
 };
 
 /// Eagerly send a control message to `dst`.  Returns kErrProcFailed when the
@@ -83,6 +102,14 @@ std::vector<T> unpack_vec(const std::vector<std::byte>& bytes) {
   std::memcpy(v.data(), bytes.data(), v.size() * sizeof(T));
   return v;
 }
+
+/// Rank indices of g's members that are alive (global runtime truth).
+[[nodiscard]] std::vector<int> live_ranks(const Group& g);
+
+/// Rank indices of g's members that are alive *and still executing* — the
+/// members a tree topology can rely on to route messages (a finished rank
+/// can no more forward a verdict than a dead one).
+[[nodiscard]] std::vector<int> active_ranks(const Group& g);
 
 /// Charge the virtual cost of `rounds` full gather+release exchanges between
 /// a coordinator and `nprocs-1` peers without sending real messages.  The

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "ftmpi/api.hpp"
 #include "ftmpi/detail.hpp"
+#include "ftmpi/detector.hpp"
 #include "ftmpi/psan.hpp"
 
 namespace ftmpi {
@@ -27,10 +28,32 @@ void check_alive() {
 
 void charge(double seconds) {
   check_alive();
-  self().vclock += seconds;
+  ProcessState& ps = self();
+  ps.vclock += seconds;
+  // The detector has no thread of its own; it progresses whenever this
+  // process accounts for virtual time (no-op unless a heartbeat period
+  // boundary was crossed or detector messages are queued).
+  detector::maybe_tick(ps);
 }
 
 double now() { return self().vclock; }
+
+std::vector<int> live_ranks(const Group& g) {
+  std::vector<int> out;
+  for (int r = 0; r < g.size(); ++r) {
+    if (!rt().is_dead(g.pids[static_cast<size_t>(r)])) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<int> active_ranks(const Group& g) {
+  std::vector<int> out;
+  for (int r = 0; r < g.size(); ++r) {
+    const ProcessState& p = rt().proc(g.pids[static_cast<size_t>(r)]);
+    if (!p.dead.load() && !p.finished.load()) out.push_back(r);
+  }
+  return out;
+}
 
 void charge_coordinator_rounds(int rounds, int nprocs, bool cross_host) {
   if (rounds <= 0 || nprocs <= 1) return;
@@ -67,6 +90,10 @@ struct WaitSpec {
   /// Senders whose collective death makes the wait hopeless.
   std::vector<ProcessState*> watch;
   CommContext* revoke_ctx = nullptr;
+  const std::atomic<std::uint64_t>* interrupt = nullptr;
+  std::uint64_t interrupt_expect = 0;
+  const std::atomic<std::uint64_t>* interrupt2 = nullptr;
+  std::uint64_t interrupt2_expect = 0;
 };
 
 /// The single blocking wait used by every receive path.  Only atomics and
@@ -75,9 +102,18 @@ struct WaitSpec {
 int wait_for_message(const WaitSpec& spec, Message* out) {
   ProcessState& ps = self();
   const CostModel& cm = ps.rt->cost();
+  const bool det = detector::enabled(ps);
   std::unique_lock<std::mutex> lock(ps.mu);
   for (;;) {
     if (ps.dead.load()) throw ProcessKilled{ps.pid};
+    if (det && ps.det_pending.load(std::memory_order_relaxed) > 0) {
+      // Absorb queued heartbeats/gossip before blocking: failure knowledge
+      // keeps propagating through ranks that sit in unrelated receives.
+      lock.unlock();
+      detector::drain(ps);
+      lock.lock();
+      continue;
+    }
     for (auto it = ps.mailbox.begin(); it != ps.mailbox.end(); ++it) {
       if (spec.match(*it, spec.match_arg)) {
         *out = std::move(*it);
@@ -88,6 +124,14 @@ int wait_for_message(const WaitSpec& spec, Message* out) {
     }
     if (spec.revoke_ctx != nullptr && spec.revoke_ctx->revoked.load()) {
       return kErrRevoked;
+    }
+    if (spec.interrupt != nullptr &&
+        spec.interrupt->load() != spec.interrupt_expect) {
+      return kErrPending;
+    }
+    if (spec.interrupt2 != nullptr &&
+        spec.interrupt2->load() != spec.interrupt2_expect) {
+      return kErrPending;
     }
     if (!spec.watch.empty()) {
       // A peer that exited without sending what we wait for can never
@@ -101,6 +145,10 @@ int wait_for_message(const WaitSpec& spec, Message* out) {
         }
       }
       if (all_dead) {
+        if (det) {
+          lock.unlock();
+          return detector::observe_hopeless_wait(ps, spec.watch);
+        }
         // Model the heartbeat/RTE delay before a real ULFM stack reports
         // a peer as failed.
         ps.vclock += cm.failure_detect_latency;
@@ -115,12 +163,25 @@ struct CtrlKey {
   std::uint64_t ctx;
   int tag;
   ProcId src;  // kNullProc = any
+  bool match_payload_head = false;
+  std::uint64_t payload_head = 0;
 };
 
 bool ctrl_match(const Message& m, const void* arg) {
   const auto* k = static_cast<const CtrlKey*>(arg);
-  return m.ctrl && m.ctx == k->ctx && m.tag == k->tag &&
-         (k->src == kNullProc || m.src_pid == k->src);
+  if (!(m.ctrl && m.ctx == k->ctx && m.tag == k->tag &&
+        (k->src == kNullProc || m.src_pid == k->src))) {
+    return false;
+  }
+  if (k->match_payload_head) {
+    // Generation-exact matching: a message from another round stays queued
+    // for whoever reaches that round instead of being consumed here.
+    if (m.payload.size() < sizeof(std::uint64_t)) return false;
+    std::uint64_t head = 0;
+    std::memcpy(&head, m.payload.data(), sizeof(head));
+    if (head != k->payload_head) return false;
+  }
+  return true;
 }
 
 struct UserKey {
@@ -145,7 +206,12 @@ bool user_match(const Message& m, const void* arg) {
 
 int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::size_t n) {
   check_alive();
-  if (rt().is_dead(dst)) return kErrProcFailed;
+  if (rt().is_dead(dst)) {
+    // A bounced send is a transport-level failure observation; feed it to
+    // the detector so the knowledge gossips instead of staying local.
+    detector::note_transport_failure(self(), dst);
+    return kErrProcFailed;
+  }
   Message msg;
   msg.ctx = ctx;
   msg.tag = tag;
@@ -159,12 +225,16 @@ int ctrl_send(ProcId dst, std::uint64_t ctx, int tag, const void* data, std::siz
 int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* out,
               const RecvOpts& opts) {
   check_alive();
-  const CtrlKey key{ctx, tag, src};
+  const CtrlKey key{ctx, tag, src, opts.match_payload_head, opts.payload_head};
   WaitSpec spec;
   spec.match = ctrl_match;
   spec.match_arg = &key;
   spec.watch.push_back(&rt().proc(src));
   spec.revoke_ctx = opts.revoke_ctx;
+  spec.interrupt = opts.interrupt;
+  spec.interrupt_expect = opts.interrupt_expect;
+  spec.interrupt2 = opts.interrupt2;
+  spec.interrupt2_expect = opts.interrupt2_expect;
   Message msg;
   const int rc = wait_for_message(spec, &msg);
   if (rc == kSuccess && out != nullptr) *out = std::move(msg.payload);
@@ -174,13 +244,17 @@ int ctrl_recv(ProcId src, std::uint64_t ctx, int tag, std::vector<std::byte>* ou
 int ctrl_recv_any(const std::vector<ProcId>& watch, std::uint64_t ctx, int tag,
                   std::vector<std::byte>* out, ProcId* src, const RecvOpts& opts) {
   check_alive();
-  const CtrlKey key{ctx, tag, kNullProc};
+  const CtrlKey key{ctx, tag, kNullProc, opts.match_payload_head, opts.payload_head};
   WaitSpec spec;
   spec.match = ctrl_match;
   spec.match_arg = &key;
   spec.watch.reserve(watch.size());
   for (ProcId p : watch) spec.watch.push_back(&rt().proc(p));
   spec.revoke_ctx = opts.revoke_ctx;
+  spec.interrupt = opts.interrupt;
+  spec.interrupt_expect = opts.interrupt_expect;
+  spec.interrupt2 = opts.interrupt2;
+  spec.interrupt2_expect = opts.interrupt2_expect;
   Message msg;
   const int rc = wait_for_message(spec, &msg);
   if (rc == kSuccess) {
@@ -212,7 +286,10 @@ int send_bytes(const void* data, std::size_t n, int dest, int tag, const Comm& c
   }
   if (c.is_revoked()) return finish(c, kErrRevoked);
   const ProcId dpid = c.peer_pid(dest);
-  if (detail::rt().is_dead(dpid)) return finish(c, kErrProcFailed);
+  if (detail::rt().is_dead(dpid)) {
+    detector::note_transport_failure(detail::self(), dpid);
+    return finish(c, kErrProcFailed);
+  }
   Message msg;
   msg.ctx = c.context()->id;
   msg.tag = tag;

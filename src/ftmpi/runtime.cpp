@@ -20,6 +20,27 @@ Runtime::Runtime(Options opt) : opt_(std::move(opt)) {
   if (const char* env = std::getenv("FTR_TRACE"); env != nullptr && env[0] == '1') {
     trace_.enable();
   }
+  if (const char* env = std::getenv("FTR_DETECTOR"); env != nullptr) {
+    opt_.detector.enabled = std::string(env) != "off";
+  }
+  if (const char* env = std::getenv("FTR_HB_PERIOD"); env != nullptr) {
+    if (const double v = std::atof(env); v > 0.0) opt_.detector.period = v;
+  }
+  if (const char* env = std::getenv("FTR_HB_SUSPECT"); env != nullptr) {
+    if (const double v = std::atof(env); v > 0.0) opt_.detector.suspect_after = v;
+  }
+  if (const char* env = std::getenv("FTR_HB_TIMEOUT"); env != nullptr) {
+    if (const double v = std::atof(env); v > 0.0) opt_.detector.confirm_after = v;
+  }
+  if (const char* env = std::getenv("FTR_AGREE"); env != nullptr) {
+    opt_.tree_protocols = std::string(env) != "linear";
+  }
+  if (opt_.detector.suspect_after < opt_.detector.period) {
+    opt_.detector.suspect_after = opt_.detector.period;
+  }
+  if (opt_.detector.confirm_after <= opt_.detector.suspect_after) {
+    opt_.detector.confirm_after = 2.0 * opt_.detector.suspect_after;
+  }
 }
 
 Runtime::~Runtime() {
@@ -175,6 +196,7 @@ void Runtime::start_process(ProcId pid) {
     ps = procs_.at(static_cast<size_t>(pid)).get();
     ++active_;
   }
+  ps->started.store(true);
   ps->thread = std::thread([this, ps] { thread_main(ps); });
 }
 
@@ -199,6 +221,7 @@ void Runtime::thread_main(ProcessState* ps) {
     FTR_ERROR("ftmpi: pid %d: no registered app named '%s'", ps->pid, ps->app.c_str());
   }
   ps->finished.store(true);
+  membership_epoch_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --active_;
@@ -277,6 +300,7 @@ void Runtime::kill(ProcId pid) {
   }
   killed_.fetch_add(1);
   failure_epoch_.fetch_add(1);
+  membership_epoch_.fetch_add(1);
   trace_.record(ps->vclock, pid, TraceEvent::Kill, ps->world_rank);
   notify_all_procs();
   FTR_DEBUG("ftmpi: killed pid %d (world rank %d)", pid, ps->world_rank);
@@ -323,6 +347,23 @@ int Runtime::total_processes() const {
   return static_cast<int>(procs_.size());
 }
 
+std::vector<ProcId> Runtime::active_pids() const {
+  std::vector<ProcId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(procs_.size());
+  for (const auto& ps : procs_) {
+    // A process leaves the RTE-visible membership only by *deregistering
+    // cleanly* (finishing without having been killed).  A crashed process
+    // stays listed — its silence in the heartbeat ring is exactly what the
+    // detector's timeout observes; it leaves each rank's ring view only
+    // when that rank learns of the death (known_failed).
+    if (ps->started.load() && (ps->dead.load() || !ps->finished.load())) {
+      out.push_back(ps->pid);
+    }
+  }
+  return out;
+}
+
 std::shared_ptr<CommContext> Runtime::create_context(Group local, Group remote, bool inter) {
   auto ctx = std::make_shared<CommContext>();
   ctx->is_inter = inter;
@@ -360,6 +401,9 @@ void Runtime::deliver(ProcId dst, Message msg) {
   {
     std::lock_guard<std::mutex> lock(ps->mu);
     if (ps->dead.load()) return;  // the network cannot deliver to a crashed process
+    if (msg.ctrl && (msg.tag == tags::kHeartbeat || msg.tag == tags::kGossip)) {
+      ps->det_pending.fetch_add(1, std::memory_order_relaxed);
+    }
     ps->mailbox.push_back(std::move(msg));
   }
   ps->cv.notify_all();

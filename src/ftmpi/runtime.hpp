@@ -28,6 +28,7 @@
 
 #include "ftmpi/comm.hpp"
 #include "ftmpi/cost_model.hpp"
+#include "ftmpi/detector.hpp"
 #include "ftmpi/trace.hpp"
 #include "ftmpi/types.hpp"
 
@@ -65,8 +66,18 @@ struct ProcessState {
   std::deque<Message> mailbox;
   std::atomic<bool> dead{false};
   std::atomic<bool> finished{false};
+  /// Set by start_process(); created-but-unstarted processes are invisible
+  /// to the detector ring.
+  std::atomic<bool> started{false};
 
   double vclock = 0.0;
+
+  /// Number of detector-channel messages (heartbeats/gossip) queued in the
+  /// mailbox; bumped by deliver() under mu, reset by detector::drain().
+  /// Lets the owner thread skip mailbox locking when nothing is pending.
+  std::atomic<int> det_pending{0};
+  /// Failure-detector state; touched only by the owning rank thread.
+  detector::State det;
 
   std::uint64_t world_ctx = 0;   ///< context id of this process's COMM_WORLD
   std::uint64_t parent_ctx = 0;  ///< intercommunicator to the spawner (0 = none)
@@ -91,6 +102,14 @@ class Runtime {
     /// fail — comm_spawn_multiple returns kErrSpawn — which is what forces
     /// the shrink-mode recovery fallback.
     int max_hosts = 0;
+    /// Failure-detector knobs (env overrides FTR_DETECTOR, FTR_HB_PERIOD,
+    /// FTR_HB_SUSPECT, FTR_HB_TIMEOUT are applied at Runtime construction).
+    detector::Options detector{};
+    /// Log-depth tree topology for comm_agree and allreduce (FTR_AGREE=tree,
+    /// the default).  FTR_AGREE=linear restores the coordinator-based
+    /// protocols; combined with FTR_DETECTOR=off that is bit-for-bit the
+    /// pre-detector runtime.
+    bool tree_protocols = true;
   };
 
   /// Entry point of a simulated MPI application; runs on each rank thread.
@@ -134,8 +153,22 @@ class Runtime {
 
   [[nodiscard]] int host_of(ProcId pid) const;
   [[nodiscard]] int slots_per_host() const { return opt_.slots_per_host; }
+  [[nodiscard]] const Options& options() const { return opt_; }
   [[nodiscard]] const CostModel& cost() const { return opt_.cost; }
+  /// Pids of started processes that have not deregistered cleanly, in pid
+  /// order — the RTE-visible membership the detector ring is built over.
+  /// Killed processes stay listed (a crash never deregisters; the ring
+  /// timeout is what detects it); normally finished processes drop out.
+  [[nodiscard]] std::vector<ProcId> active_pids() const;
   [[nodiscard]] std::uint64_t failure_epoch() const { return failure_epoch_.load(); }
+  /// Monotonic counter bumped whenever the active-process set shrinks (a
+  /// kill *or* a normal exit).  Protocols that build a topology over a
+  /// snapshot of the active set watch this atomic to learn that their
+  /// snapshot went stale mid-protocol — unlike failure_epoch(), it also
+  /// covers peers that finished without failing.
+  [[nodiscard]] const std::atomic<std::uint64_t>& membership_epoch() const {
+    return membership_epoch_;
+  }
   [[nodiscard]] int total_processes() const;
   [[nodiscard]] int killed_count() const { return killed_.load(); }
 
@@ -224,6 +257,7 @@ class Runtime {
   int active_ = 0;
 
   std::atomic<std::uint64_t> failure_epoch_{0};
+  std::atomic<std::uint64_t> membership_epoch_{0};
   std::atomic<int> killed_{0};
   std::atomic<long long> msg_count_{0};
   std::atomic<long long> msg_bytes_{0};

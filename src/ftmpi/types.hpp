@@ -61,7 +61,21 @@ inline constexpr int kSpawnAck = kReservedTagBound - 15;
 inline constexpr int kMergeInfo = kReservedTagBound - 16;
 inline constexpr int kMergeCross = kReservedTagBound - 17;
 inline constexpr int kAllgather = kReservedTagBound - 18;
+// Failure-detector channel (heartbeat ring + gossip propagation).
+inline constexpr int kHeartbeat = kReservedTagBound - 19;
+inline constexpr int kGossip = kReservedTagBound - 20;
+// Tree-structured agreement and fault-tolerant allreduce.
+inline constexpr int kAgreeTreeUp = kReservedTagBound - 21;
+inline constexpr int kAgreeTreeDown = kReservedTagBound - 22;
+inline constexpr int kCollTreeUp = kReservedTagBound - 23;
+inline constexpr int kCollTreeDown = kReservedTagBound - 24;
 }  // namespace tags
+
+/// Version counter of a process's local failure knowledge.  Every detector
+/// message (heartbeat or gossip) carries the sender's epoch; receivers must
+/// validate it (see detector::epoch_ok) and discard stale notifications
+/// instead of acting on them.
+using DetectorEpoch = std::uint64_t;
 
 /// Receive status, analogous to MPI_Status.
 struct Status {

@@ -83,6 +83,286 @@ std::vector<int> live_ranks(const Group& g) {
   return out;
 }
 
+// --- tree-structured agreement ---------------------------------------------
+//
+// Log-depth replacement for the linear uplink: the survivors form a binary
+// tree over the live rank list (node i's children are 2i+1 and 2i+2, the
+// root is the lowest live rank — the same process the linear protocol
+// elects as coordinator).  Entries flow up the tree, the root computes the
+// verdict (and runs the psan stream verification exactly like the linear
+// coordinator), and the verdict floods back down.  A participant that
+// observes a failure bumps the context's agree_gen; every in-flight wait
+// carries the old generation and returns kErrPending, so the whole cohort
+// rebuilds the tree over the current survivors — the parent re-routing
+// rule.  Messages from a previous generation are consumed and discarded,
+// never acted on (the same staleness discipline FTL007 enforces for
+// detector messages).
+
+struct TreeAgreeUpHead {
+  std::uint64_t gen;
+  std::int32_t count;  ///< number of TreeAgreeEntry records following
+  std::int32_t pad;
+};
+
+struct TreeAgreeEntry {
+  std::int32_t rank;  ///< rank in the agreement group
+  std::int32_t pid;
+  std::int32_t flag;
+  std::int32_t pad;
+  std::uint64_t hash;   ///< psan collective-stream hash (0 without FTR_PSAN)
+  std::uint64_t epoch;  ///< psan epoch (0 without FTR_PSAN)
+};
+
+struct TreeAgreeDownHead {
+  std::uint64_t gen;
+  std::int32_t flag;
+  std::int32_t num_dead;  ///< ProcId list follows
+};
+
+void bump_agree_gen(CommContext* ctx) {
+  ctx->agree_gen.fetch_add(1);
+  // Wake every in-flight participant so its wait observes the new
+  // generation (kErrPending) and re-routes around the failure.
+  detail::rt().notify_all_procs();
+}
+
+/// Publish-then-flood verdict adoption: once the root has decided round r
+/// (which it only does after folding a contribution from *every* process
+/// still running), any participant stuck at round r may adopt the cached
+/// verdict — its own flag is provably part of it.
+bool try_adopt_decision(CommContext* ctx, std::int64_t round, int* flag,
+                        std::vector<ProcId>* dead) {
+  if (ctx->agree_decided_round.load() < round) return false;
+  std::lock_guard<std::mutex> lk(ctx->agree_mu);
+  if (ctx->agree_decision.round != round) return false;
+  *flag = ctx->agree_decision.flag;
+  *dead = ctx->agree_decision.dead;
+  return true;
+}
+
+int agree_tree(const Comm& c, int* flag, const Group& g) {
+  chaos_point("agree.tree");
+  const std::uint64_t id = c.context()->id;
+  CommContext* ctx = c.context();
+  const ProcessState& me = detail::self();
+  const CostModel& cm = detail::rt().cost();
+  const std::int64_t round = c.local().agree_round;
+  const int max_attempts = 4 * g.size() + 8;
+
+  const auto complete = [&](int agreed, const std::vector<ProcId>& dead) -> int {
+    *flag = agreed;
+    c.local().agree_round = round + 1;
+    // Uniform result: an error is reported iff there are failures this
+    // process has not acknowledged yet (identical to the linear protocol).
+    for (ProcId p : dead) {
+      if (!c.local().acked.contains(p)) return finish(c, kErrProcFailed);
+    }
+    return kSuccess;
+  };
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    {
+      int adopted_flag = 0;
+      std::vector<ProcId> adopted_dead;
+      if (try_adopt_decision(ctx, round, &adopted_flag, &adopted_dead)) {
+        return complete(adopted_flag, adopted_dead);
+      }
+    }
+    const std::uint64_t gen = ctx->agree_gen.load();
+    // Load the membership epoch *before* snapshotting the topology: any
+    // membership change after the snapshot then interrupts our waits, and a
+    // spurious extra interrupt is merely a re-validation.
+    std::uint64_t mepoch = detail::rt().membership_epoch().load();
+    const std::vector<int> live = detail::active_ranks(g);
+    if (live.empty()) return kErrComm;
+    int mi = -1;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (g.pids[static_cast<size_t>(live[i])] == me.pid) {
+        mi = static_cast<int>(i);
+        break;
+      }
+    }
+    if (mi < 0) return kErrComm;  // unreachable while this process is alive
+
+    // Handle a wait interrupted by kErrPending.  Returns true when the
+    // attempt must restart; false when the interrupt was benign (a process
+    // outside this group exited) and the wait should simply be re-armed.
+    const auto handle_pending = [&]() {
+      if (ctx->agree_gen.load() != gen) return true;  // peers re-routed
+      const std::uint64_t m2 = detail::rt().membership_epoch().load();
+      if (detail::active_ranks(g) != live) {
+        // Our topology snapshot went stale without any of our waits failing
+        // (the death/exit raced protocol entry).  Force the whole cohort
+        // onto a fresh generation so everyone rebuilds the same tree.
+        bump_agree_gen(ctx);
+        return true;
+      }
+      mepoch = m2;
+      return false;
+    };
+
+    // -- reduction up: collect the subtree's entries -------------------------
+    std::vector<TreeAgreeEntry> entries;
+#ifdef FTR_PSAN
+    entries.push_back({live[static_cast<size_t>(mi)], me.pid, *flag, 0,
+                       psan::stream_hash(c), psan::current_epoch()});
+#else
+    entries.push_back({live[static_cast<size_t>(mi)], me.pid, *flag, 0, 0, 0});
+#endif
+    bool restart = false;
+    for (int k = 1; k <= 2 && !restart; ++k) {
+      const std::size_t ci = 2 * static_cast<size_t>(mi) + static_cast<size_t>(k);
+      if (ci >= live.size()) break;
+      const ProcId child = g.pids[static_cast<size_t>(live[ci])];
+      for (;;) {
+        std::vector<std::byte> payload;
+        detail::RecvOpts opts;
+        opts.interrupt = &ctx->agree_gen;
+        opts.interrupt_expect = gen;
+        opts.interrupt2 = &detail::rt().membership_epoch();
+        opts.interrupt2_expect = mepoch;
+        opts.match_payload_head = true;
+        opts.payload_head = gen;
+        const int rc = detail::ctrl_recv(child, id, tags::kAgreeTreeUp, &payload, opts);
+        if (rc == kErrPending) {
+          if (handle_pending()) {
+            restart = true;
+            break;
+          }
+          continue;
+        }
+        if (rc != kSuccess) {  // child subtree root died: re-route around it
+          bump_agree_gen(ctx);
+          restart = true;
+          break;
+        }
+        TreeAgreeUpHead head{};
+        if (payload.size() < sizeof(head)) continue;
+        std::memcpy(&head, payload.data(), sizeof(head));
+        for (std::int32_t i = 0; i < head.count; ++i) {
+          TreeAgreeEntry e{};
+          std::memcpy(&e, payload.data() + sizeof(head) + static_cast<size_t>(i) * sizeof(e),
+                      sizeof(e));
+          entries.push_back(e);
+        }
+        break;
+      }
+    }
+    if (restart) continue;
+
+    // Per-node agreement work is proportional to this node's degree — the
+    // tree links it matches and folds, not its subtree's population — so the
+    // protocol's critical path is O(log N): unlike the linear coordinator,
+    // which pays charge_coordinator_rounds over the whole group.
+    int degree = (mi != 0) ? 1 : 0;  // parent link
+    for (int k = 1; k <= 2; ++k) {
+      if (2 * static_cast<size_t>(mi) + static_cast<size_t>(k) < live.size()) ++degree;
+    }
+    detail::charge(cm.consensus_cost_per_proc * static_cast<double>(degree + 1));
+
+    std::vector<std::byte> down;
+    if (mi != 0) {
+      // Interior node / leaf: hand the subtree up, wait for the verdict.
+      std::vector<std::byte> up(sizeof(TreeAgreeUpHead) +
+                                entries.size() * sizeof(TreeAgreeEntry));
+      const TreeAgreeUpHead uh{gen, static_cast<std::int32_t>(entries.size()), 0};
+      std::memcpy(up.data(), &uh, sizeof(uh));
+      std::memcpy(up.data() + sizeof(uh), entries.data(),
+                  entries.size() * sizeof(TreeAgreeEntry));
+      const ProcId parent =
+          g.pids[static_cast<size_t>(live[static_cast<size_t>((mi - 1) / 2)])];
+      if (detail::ctrl_send(parent, id, tags::kAgreeTreeUp, up.data(), up.size()) !=
+          kSuccess) {
+        bump_agree_gen(ctx);
+        continue;
+      }
+      for (;;) {
+        std::vector<std::byte> payload;
+        detail::RecvOpts opts;
+        opts.interrupt = &ctx->agree_gen;
+        opts.interrupt_expect = gen;
+        opts.interrupt2 = &detail::rt().membership_epoch();
+        opts.interrupt2_expect = mepoch;
+        opts.match_payload_head = true;
+        opts.payload_head = gen;
+        const int rc = detail::ctrl_recv(parent, id, tags::kAgreeTreeDown, &payload, opts);
+        if (rc == kErrPending) {
+          if (handle_pending()) break;
+          continue;
+        }
+        if (rc != kSuccess) {  // parent died holding our verdict: re-route
+          bump_agree_gen(ctx);
+          break;
+        }
+        if (payload.size() < sizeof(TreeAgreeDownHead)) continue;
+        down = std::move(payload);
+        break;
+      }
+      if (down.empty()) continue;
+    } else {
+      // Root: only decide once every process still running this round has
+      // contributed — with a short count some contribution is still in
+      // flight on a differently-shaped tree, so force a consistent rebuild.
+      if (entries.size() != live.size()) {
+        bump_agree_gen(ctx);
+        continue;
+      }
+      int agreed = ~0;
+      for (const TreeAgreeEntry& e : entries) agreed &= e.flag;
+      const std::vector<ProcId> dead = detail::rt().dead_members(g);
+#ifdef FTR_PSAN
+      // Same contract as the linear coordinator: every contributor is still
+      // blocked on the verdict, so its stream cannot advance under us.
+      std::vector<psan::AgreeReport> reports;
+      reports.reserve(entries.size());
+      for (const TreeAgreeEntry& e : entries) {
+        reports.push_back({e.rank, e.pid, e.hash, e.epoch});
+      }
+      psan::verify_at_agree(c, g, reports, dead.empty());
+#endif
+      // Publish the verdict *before* flooding it, so a subtree orphaned by
+      // a relay death can adopt it instead of waiting on peers that have
+      // already returned.
+      {
+        std::lock_guard<std::mutex> lk(ctx->agree_mu);
+        ctx->agree_decision.round = round;
+        ctx->agree_decision.flag = agreed;
+        ctx->agree_decision.dead = dead;
+      }
+      ctx->agree_decided_round.store(round);
+      down.resize(sizeof(TreeAgreeDownHead) + dead.size() * sizeof(ProcId));
+      const TreeAgreeDownHead dh{gen, agreed, static_cast<std::int32_t>(dead.size())};
+      std::memcpy(down.data(), &dh, sizeof(dh));
+      if (!dead.empty()) {
+        std::memcpy(down.data() + sizeof(dh), dead.data(), dead.size() * sizeof(ProcId));
+      }
+      detail::rt().trace().record(detail::now(), me.pid, TraceEvent::Agree, agreed);
+    }
+
+    // Broadcast down: forward the verdict to the children before returning.
+    // Best-effort — a child that died mid-protocol has a subtree that will
+    // re-route and retry; its members are reported through the next agree.
+    for (int k = 1; k <= 2; ++k) {
+      const std::size_t ci = 2 * static_cast<size_t>(mi) + static_cast<size_t>(k);
+      if (ci >= live.size()) break;
+      ftr::observe_error(detail::ctrl_send(g.pids[static_cast<size_t>(live[ci])], id,
+                                           tags::kAgreeTreeDown, down.data(), down.size()),
+                         "agree.tree.down");
+    }
+
+    TreeAgreeDownHead head{};
+    std::memcpy(&head, down.data(), sizeof(head));
+    std::vector<ProcId> dead(static_cast<size_t>(head.num_dead));
+    if (head.num_dead > 0) {
+      std::memcpy(dead.data(), down.data() + sizeof(head), dead.size() * sizeof(ProcId));
+    }
+    return complete(head.flag, dead);
+  }
+  FTR_ERROR("ftmpi: tree agree exhausted retries on ctx %llu",
+            static_cast<unsigned long long>(id));
+  return kErrComm;
+}
+
 }  // namespace
 
 int comm_shrink(const Comm& c, Comm* out) {
@@ -166,6 +446,7 @@ int comm_agree(const Comm& c, int* flag) {
                   c.context()->group[1].pids.end());
     g = std::move(u);
   }
+  if (detail::rt().options().tree_protocols) return agree_tree(c, flag, g);
   const ProcessState& me = detail::self();
 
   for (int attempt = 0; attempt <= g.size(); ++attempt) {

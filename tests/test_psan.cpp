@@ -167,4 +167,31 @@ TEST(PsanDeath, DivergentCollectiveSequenceAbortsAtAgree) {
       "ftmpi-psan: collective sequence divergence");
 }
 
+TEST(PsanDeath, TreeAgreeDivergenceFromDeepLeafAborts) {
+  // Same violation class as above, but across a log-depth agreement tree:
+  // the divergent rank is a leaf (rank 7 of 8, bottom of the binomial
+  // tree), so its stream hash has to survive the child->parent reductions
+  // all the way to the root for the verification to trip.  Pins that the
+  // tree protocol carries the per-rank hashes instead of collapsing them.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime::Options opt;
+        opt.slots_per_host = 8;
+        opt.real_time_limit_sec = 60.0;
+        Runtime rt(opt);
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          if (w.rank() == 7) {
+            int v = 1;
+            (void)bcast(&v, 1, 7, w);  // collective nobody else enters
+          }
+          int flag = 1;
+          (void)comm_agree(w, &flag);  // must abort at tree verification
+        });
+        rt.run("main", 8);
+      },
+      "ftmpi-psan: collective sequence divergence");
+}
+
 #endif  // FTR_PSAN

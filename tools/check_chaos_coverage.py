@@ -11,6 +11,12 @@ tests/; it fails with the orphan list otherwise.
 
 Zero extracted labels is also a failure: it would mean the extraction regex
 rotted, not that the codebase stopped firing chaos points.
+
+A small set of labels is additionally *required to exist* in src/: the
+failure-detector duties and the tree agreement earn their fault-tolerance
+claims from chaos kills at exactly these boundaries, so silently deleting
+one of the chaos_point calls (which would also drop it from the orphan
+check) is itself a failure.
 """
 
 import os
@@ -22,6 +28,10 @@ SRC = os.path.join(REPO, "src")
 TESTS = os.path.join(REPO, "tests")
 
 _LABEL_RE = re.compile(r'chaos_point\(\s*"([^"]+)"\s*\)')
+
+# Labels that must be fired somewhere under src/ (and hence, via the orphan
+# check below, also covered by tests/).
+REQUIRED_LABELS = ("detector.heartbeat", "detector.gossip", "agree.tree")
 
 
 def cxx_files(root):
@@ -41,6 +51,13 @@ def main():
                     labels.setdefault(label, f"{rel}:{lineno}")
     if not labels:
         print("FAIL: no chaos_point labels found under src/ — extraction broken?")
+        return 1
+
+    missing = [l for l in REQUIRED_LABELS if l not in labels]
+    for label in missing:
+        print(f"FAIL: required chaos label \"{label}\" is fired nowhere under "
+              f"src/ — the phase boundary (or its chaos_point) was removed")
+    if missing:
         return 1
 
     test_text = ""

@@ -32,6 +32,28 @@ FTR_NODISCARD int iprobe_buffered(const Comm& c, int tag, int* flag, Status* st)
 FTR_NODISCARD int recv_buffered(double* buf, int count, int src, int tag,
                                 const Comm& c, Status* st);
 
+// Failure-detector wire formats (FTL007): consumers must validate the
+// carried epoch with epoch_ok() before acting.
+namespace detector {
+struct State {};
+struct HeartbeatWire {
+  int from = -1;
+  unsigned long long epoch = 0;
+};
+struct GossipWire {
+  int dead = -1;
+  unsigned long long epoch = 0;
+};
+FTR_NODISCARD bool epoch_ok(const State& st, const HeartbeatWire& w);
+FTR_NODISCARD bool epoch_ok(const State& st, const GossipWire& w);
+void note_heartbeat(State& st, const HeartbeatWire& w);
+void note_gossip(State& st, const GossipWire& w);
+namespace detail {
+template <class T>
+T unpack(const void* payload);
+}  // namespace detail
+}  // namespace detector
+
 namespace compat {
 using MPI_Comm = Comm;
 using MPI_Info = int;

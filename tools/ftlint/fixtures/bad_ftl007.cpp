@@ -1,0 +1,31 @@
+// FTL007 seeds: failure-detector wire messages consumed without validating
+// the detector epoch.  Acting on a stale heartbeat or gossip message (one
+// from before the sender learned of a failure, or a duplicate of news this
+// rank already absorbed) corrupts the failure-knowledge state machine.
+#include "api_stub.hpp"
+
+using ftmpi::detector::GossipWire;
+using ftmpi::detector::HeartbeatWire;
+using ftmpi::detector::State;
+
+// Case 1: heartbeat unpacked and acted on with no epoch_ok call at all.
+void absorb_heartbeat_unchecked(State& st, const void* payload) {
+  const auto w = ftmpi::detector::detail::unpack<HeartbeatWire>(payload);  // EXPECT: FTL007
+  ftmpi::detector::note_heartbeat(st, w);
+}
+
+// Case 2: gossip unpacked; epoch_ok runs but its verdict is (void)-cast
+// away, so the stale message is still acted on (the discard itself is an
+// FTL001 on top).
+void absorb_gossip_voided_verdict(State& st, const void* payload) {
+  const auto w = ftmpi::detector::detail::unpack<GossipWire>(payload);  // EXPECT: FTL007
+  (void)ftmpi::detector::epoch_ok(st, w);  // EXPECT: FTL001
+  ftmpi::detector::note_gossip(st, w);
+}
+
+// Case 3: same, with an expression-statement discard of the verdict.
+void absorb_gossip_dropped_verdict(State& st, const void* payload) {
+  const auto w = ftmpi::detector::detail::unpack<GossipWire>(payload);  // EXPECT: FTL007
+  ftmpi::detector::epoch_ok(st, w);  // EXPECT: FTL001
+  ftmpi::detector::note_gossip(st, w);
+}

@@ -1,0 +1,26 @@
+// FTL007 clean: every detector-wire unpack validates the carried epoch
+// before acting, and stale messages are dropped on the floor — the repo
+// idiom (src/ftmpi/detector.cpp, drain()).
+#include "api_stub.hpp"
+
+using ftmpi::detector::GossipWire;
+using ftmpi::detector::HeartbeatWire;
+using ftmpi::detector::State;
+
+// Branch-guarded validation: stale heartbeats return before any state is
+// touched.
+int absorb_heartbeat(State& st, const void* payload) {
+  const auto w = ftmpi::detector::detail::unpack<HeartbeatWire>(payload);
+  if (!ftmpi::detector::epoch_ok(st, w)) return 0;  // stale: discarded
+  ftmpi::detector::note_heartbeat(st, w);
+  return 1;
+}
+
+// Verdict stored, then branched on — equally observed.
+int absorb_gossip(State& st, const void* payload) {
+  const auto w = ftmpi::detector::detail::unpack<GossipWire>(payload);
+  const bool fresh = ftmpi::detector::epoch_ok(st, w);
+  if (!fresh) return 0;
+  ftmpi::detector::note_gossip(st, w);
+  return 1;
+}

@@ -20,6 +20,10 @@ Enforced rules (details in docs/ARCHITECTURE.md, "Enforced invariants"):
           the sanctioned salvage paths (iprobe_buffered/recv_buffered and
           the shrink/agree/free repair set), double-free, and handles that
           escape a function without an owner.
+  FTL007  detector epoch validation: a function that unpacks a failure-
+          detector wire message (HeartbeatWire/GossipWire) must observe an
+          epoch_ok() verdict — stale detector messages are discarded, never
+          acted on.  A discarded or (void)-cast epoch_ok does not count.
   FTL000  suppression hygiene: `// ftlint:allow(FTLxxx reason)` requires a
           valid rule id and a non-empty justification, and a suppression
           that silenced nothing this run is reported as stale.
@@ -121,7 +125,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="auto = lexer engine, plus the libclang cross-check "
                          "when clang.cindex is importable (default)")
     ap.add_argument("--rules",
-                    default="FTL000,FTL001,FTL002,FTL003,FTL004,FTL005,FTL006",
+                    default="FTL000,FTL001,FTL002,FTL003,FTL004,FTL005,FTL006,"
+                            "FTL007",
                     help="comma-separated rule ids to run")
     ap.add_argument("--format", choices=("human", "github"), default="human",
                     help="finding output format: human (default) or GitHub "

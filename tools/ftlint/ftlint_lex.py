@@ -20,7 +20,7 @@ import re
 from typing import Iterable
 
 RULE_IDS = ("FTL000", "FTL001", "FTL002", "FTL003", "FTL004", "FTL005",
-            "FTL006")
+            "FTL006", "FTL007")
 
 # Keywords/punctuation that precede a *discarded* expression-statement call:
 # the call begins a statement, so nothing consumes its value.
@@ -41,6 +41,12 @@ _ALLOC_MEMBERS = {
     "insert", "assign", "append",
 }
 _ALLOC_STD = {"make_unique", "make_shared"}
+
+# FTL007: failure-detector wire formats.  A function that unpacks one of
+# these from a message payload consumes detector traffic and must validate
+# the carried detector epoch with an *observed* epoch_ok() call — stale
+# heartbeats/gossip must be discarded, never acted on.
+_FTL007_WIRES = ("HeartbeatWire", "GossipWire")
 
 # FTL004: protocol families that chaos injection must be able to reach, and
 # the function definitions that implement them.
@@ -498,6 +504,50 @@ class Engine:
                         "fault injection cannot reach this protocol step"))
         return out
 
+    # -- FTL007 -------------------------------------------------------------
+    def _check_ftl007(self) -> list[Finding]:
+        out = []
+        for sf in self.sources:
+            for name, _, b0, b1 in _iter_functions(sf):
+                out.extend(self._ftl007_body(sf, name, b0, b1))
+        return out
+
+    def _ftl007_body(self, sf: SourceFile, fn: str, b0: int,
+                     b1: int) -> list[Finding]:
+        toks = sf.tokens
+        unpacks: list[tuple[int, str]] = []  # (line, wire type)
+        validated = False
+        for i in range(b0, b1):
+            t = toks[i].text
+            if (t in _FTL007_WIRES and i >= 2 and toks[i - 1].text == "<"
+                    and toks[i - 2].text == "unpack"):
+                unpacks.append((toks[i].line, t))
+            if t == "epoch_ok" and i + 1 < len(toks) and toks[i + 1].text == "(":
+                # The validation only counts if its verdict is observed; a
+                # discarded or (void)-cast epoch_ok() still acts on stale
+                # messages (and FTL001 reports the discard separately).
+                start = sf.qualified_start(i)
+                prev = toks[start - 1].text if start > 0 else None
+                close = sf.match_paren(i + 1)
+                nxt = toks[close + 1].text if close + 1 < len(toks) else None
+                discarded = prev in _DISCARD_PREV and nxt == ";"
+                void_cast = (start >= 3 and toks[start - 1].text == ")"
+                             and toks[start - 2].text == "void"
+                             and toks[start - 3].text == "(")
+                if not discarded and not void_cast:
+                    validated = True
+        if validated:
+            return []
+        out = []
+        for line, wire in unpacks:
+            if not self._suppressed(sf, "FTL007", line):
+                out.append(Finding(
+                    sf.path, line, "FTL007",
+                    f"`{fn}` unpacks a detector `{wire}` but never observes "
+                    "an `epoch_ok` verdict; stale detector messages must be "
+                    "discarded, not acted on"))
+        return out
+
     # -- stale-suppression audit --------------------------------------------
     def _stale_suppressions(self, rules: set[str]) -> list[Finding]:
         """A well-formed suppression that silenced nothing this run is rot:
@@ -528,6 +578,8 @@ class Engine:
             findings.extend(self._check_ftl003())
         if "FTL004" in rules:
             findings.extend(self._check_ftl004())
+        if "FTL007" in rules:
+            findings.extend(self._check_ftl007())
         if rules & {"FTL005", "FTL006"}:
             import ftmodel  # late import: ftmodel imports this module
             findings.extend(ftmodel.build_and_check(self, rules))
