@@ -65,6 +65,29 @@ struct BenchEnv {
   }
 };
 
+/// Reference timestep (virtual seconds) for expressing repair windows in
+/// units of lost timesteps: one full-grid sweep at the bench cell rate, the
+/// same normalization the application benches use for their step costs.
+[[nodiscard]] inline double reference_step_seconds(const BenchEnv& env) {
+  const double side = static_cast<double>((1 << env.n) + 1);
+  return side * side / kBenchCellRate;
+}
+
+/// Survivor-averaged fraction of the repair window still lost under
+/// overlapped recovery: only the affected grids' survivors (the repair
+/// group) park while continuation ranks keep stepping, so with each failure
+/// hitting a distinct grid of `grid_ranks` members, the per-survivor
+/// average shrinks with the core count — toward zero for minority-grid
+/// failures on large worlds (bench_overlap measures this end to end).
+[[nodiscard]] inline double overlap_lost_fraction(long cores, long failures,
+                                                  long grid_ranks) {
+  const long survivors = cores - failures;
+  if (survivors <= 0) return 1.0;
+  const double f = static_cast<double>(failures * (grid_ranks - 1)) /
+                   static_cast<double>(survivors);
+  return f > 1.0 ? 1.0 : f;
+}
+
 inline double mean(const std::vector<double>& v) {
   if (v.empty()) return std::nan("");
   return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());

@@ -57,6 +57,7 @@ int ParallelSolver::run(long steps) {
 }
 
 int ParallelSolver::gather_full(Grid2D* out) {
+  if (repair_pending_) return ftmpi::kErrPending;
   const auto interior = [&]() {
     std::vector<double> v(static_cast<size_t>(field_.block().cells()));
     size_t k = 0;
@@ -96,6 +97,7 @@ int ParallelSolver::gather_full(Grid2D* out) {
 }
 
 int ParallelSolver::scatter_full(const Grid2D& full_at_root) {
+  if (repair_pending_) return ftmpi::kErrPending;
   if (comm_.rank() == 0) {
     for (int r = 1; r < comm_.size(); ++r) {
       const Block b = decomp_.block(r);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 
+#include "common/logging.hpp"
 #include "recovery/replication.hpp"
 
 namespace ftr::core {
@@ -63,6 +67,69 @@ FailurePlan random_simulated_losses(const Layout& layout, int count, ftr::Xoshir
     return plan;
   }
   return plan;
+}
+
+ArrivalModel arrival_model_from_env(ArrivalModel fallback) {
+  ArrivalModel m = fallback;
+  if (const char* e = std::getenv("FTR_FAILURE_DIST")) {
+    const std::string v(e);
+    if (v == "exp" || v == "exponential") {
+      m.dist = FailureDist::Exponential;
+    } else if (v == "weibull") {
+      m.dist = FailureDist::Weibull;
+    } else {
+      FTR_WARN("failure_gen: ignoring unknown FTR_FAILURE_DIST value '%s'", v.c_str());
+    }
+  }
+  if (const char* e = std::getenv("FTR_FAILURE_SCALE")) {
+    const double s = std::atof(e);
+    if (s > 0.0) m.scale = s;
+  }
+  if (const char* e = std::getenv("FTR_FAILURE_SHAPE")) {
+    const double k = std::atof(e);
+    if (k > 0.0) m.shape = k;
+  }
+  return m;
+}
+
+double draw_interarrival(const ArrivalModel& m, ftr::Xoshiro256& rng) {
+  // Inverse-CDF sampling; 1 - uniform() keeps u in (0, 1] so ln is finite.
+  const double u = 1.0 - rng.uniform();
+  const double e = -std::log(u);
+  if (m.dist == FailureDist::Weibull) return m.scale * std::pow(e, 1.0 / m.shape);
+  return m.scale * e;
+}
+
+FailurePlan scheduled_real_failures(const Layout& layout, int count, long max_step,
+                                    const ArrivalModel& model, ftr::Xoshiro256& rng) {
+  assert(count < layout.total_procs);
+  FailurePlan plan;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    plan.kill_at_step.clear();
+    std::vector<int> victims;
+    while (static_cast<int>(victims.size()) < count) {
+      // Rank 0 is the controlling process and must not fail (paper Sec. III).
+      const int r = 1 + static_cast<int>(rng.bounded(
+                            static_cast<std::uint64_t>(layout.total_procs - 1)));
+      if (std::find(victims.begin(), victims.end(), r) == victims.end()) {
+        victims.push_back(r);
+      }
+    }
+    if (layout.config.technique == Technique::ResamplingCopying) {
+      const auto lost = layout.grids_of_ranks(victims);
+      std::vector<int> lost_ids(lost.begin(), lost.end());
+      if (!ftr::rec::rc_loss_allowed(layout.slots, lost_ids)) continue;
+    }
+    double arrival = 0.0;
+    for (int v : victims) {
+      arrival += draw_interarrival(model, rng);
+      const long step =
+          std::clamp(static_cast<long>(std::llround(arrival)), 1l, std::max(max_step - 1, 1l));
+      plan.kill_at_step[v] = step;
+    }
+    return plan;
+  }
+  return plan;  // unreachable at the paper's scales
 }
 
 }  // namespace ftr::core

@@ -55,4 +55,42 @@ FailurePlan random_real_failures(const Layout& layout, int count, long max_step,
 /// survivors, matching the paper's experiments).
 FailurePlan random_simulated_losses(const Layout& layout, int count, ftr::Xoshiro256& rng);
 
+// --- failure inter-arrival model --------------------------------------------
+//
+// random_real_failures() draws one uniform kill step, which is fine for the
+// paper's single-failure experiments but cannot express failure *timing*
+// structure.  The arrival model draws inter-arrival gaps instead:
+// exponential gaps reproduce the classic memoryless MTBF process, Weibull
+// gaps with shape < 1 produce the bursty, clustered arrivals observed in
+// real HPC failure logs — exactly the regime where a second failure lands
+// while a background repair is still in flight (the overlapped-recovery
+// stress case).
+
+enum class FailureDist {
+  Exponential,  ///< gap = -scale * ln(u); scale is the MTBF
+  Weibull,      ///< gap = scale * (-ln(u))^(1/shape)
+};
+
+struct ArrivalModel {
+  FailureDist dist = FailureDist::Exponential;
+  double scale = 8.0;  ///< exp: mean gap (MTBF); weibull: scale lambda
+  double shape = 1.0;  ///< weibull shape k (< 1 bursty, 1 = exp, > 1 aging)
+};
+
+/// Environment override: FTR_FAILURE_DIST=exp|weibull selects the family,
+/// FTR_FAILURE_SCALE / FTR_FAILURE_SHAPE the parameters.  `fallback` is
+/// returned (unchanged) when the variables are unset or unparsable.
+[[nodiscard]] ArrivalModel arrival_model_from_env(ArrivalModel fallback);
+
+/// One inter-arrival gap in timesteps (continuous; callers quantize).
+[[nodiscard]] double draw_interarrival(const ArrivalModel& m, ftr::Xoshiro256& rng);
+
+/// Real-failure plan with victim draw as random_real_failures() (distinct,
+/// never rank 0, RC partner constraint) but kill steps from cumulative
+/// inter-arrival gaps: victim i dies at round(sum of the first i+1 gaps),
+/// clamped to [1, max_step).  Bursty models thus produce victims dying in
+/// adjacent steps — several failures inside one repair window.
+FailurePlan scheduled_real_failures(const Layout& layout, int count, long max_step,
+                                    const ArrivalModel& model, ftr::Xoshiro256& rng);
+
 }  // namespace ftr::core

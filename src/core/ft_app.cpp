@@ -10,6 +10,7 @@
 #include "combination/combine.hpp"
 #include "common/errors.hpp"
 #include "common/logging.hpp"
+#include "ftmpi/psan.hpp"
 #include "recovery/alternate.hpp"
 #include "grid/sampling.hpp"
 #include "recovery/replication.hpp"
@@ -49,6 +50,12 @@ struct FtApp::RankState {
   // whose grid lost a member idles (no solver) until the final combination.
   bool degraded = false;
   DegradedView dview;
+  // Overlapped recovery: argv for background spawns, the in-overlap flag
+  // (gates proactive exits and buddy ticks, whose rank->pid bookkeeping
+  // assumes the full world), and the attempt counter stamped on doorbells.
+  std::vector<std::string> argv;
+  bool overlap_active = false;
+  std::uint64_t overlap_epoch = 0;
   std::set<int> failed_union;  // original ranks failed so far, all repairs
   // Buddy placement map (deterministic, identical on every rank).
   ftr::rec::BuddyTopology btopo;
@@ -86,11 +93,21 @@ FtApp::FtApp(AppConfig cfg) : cfg_(std::move(cfg)), layout_(build_layout(cfg_.la
       cfg_.recovery = RecoveryPolicy::Ac;
     } else if (v == "technique") {
       cfg_.recovery = RecoveryPolicy::Technique;
+    } else if (v == "overlap") {
+      cfg_.recovery = RecoveryPolicy::Overlap;
     } else if (!v.empty()) {
       FTR_WARN("ft_app: ignoring unknown FTR_RECOVERY value '%s'", v.c_str());
     }
   }
   if (const char* e = std::getenv("FTR_BUDDY_EVERY")) cfg_.buddy_every = std::atol(e);
+  if (const char* e = std::getenv("FTR_DOORBELL_POLL")) {
+    cfg_.doorbell_poll = std::max<long>(std::atol(e), 1);
+  }
+  // Overlapped recovery wants the detector's early exit from the solve loop
+  // (a continuation rank stuck in halo exchange on a broken grid comm would
+  // otherwise only learn of the failure reactively); FTR_PROACTIVE still has
+  // the last word below.
+  if (cfg_.recovery == RecoveryPolicy::Overlap) cfg_.proactive_recovery = true;
   if (const char* e = std::getenv("FTR_PROACTIVE")) {
     const std::string v(e);
     if (v == "1" || v == "on") {
@@ -109,6 +126,10 @@ ftr::rec::PlannerMode FtApp::planner_mode() const {
     case RecoveryPolicy::Cr: return ftr::rec::PlannerMode::ForceCr;
     case RecoveryPolicy::Rc: return ftr::rec::PlannerMode::ForceRc;
     case RecoveryPolicy::Ac: return ftr::rec::PlannerMode::ForceAc;
+    // Overlap restores through the full lattice at the classic detection
+    // points; PlannerMode::Overlap is only used for the restricted plan the
+    // background repair computes on the partial world (overlap_repair_world).
+    case RecoveryPolicy::Overlap: return ftr::rec::PlannerMode::Lattice;
     case RecoveryPolicy::Technique: break;
   }
   switch (cfg_.layout.technique) {
@@ -187,7 +208,7 @@ int FtApp::solve_to(RankState& st, long target) {
     // Detector notification: leave the solve loop for the detection point
     // as soon as a failure anywhere in the world is known locally, instead
     // of solving on until a collective on the broken communicator fails.
-    if (cfg_.proactive_recovery && proactive_failure_pending(st)) {
+    if (cfg_.proactive_recovery && !st.overlap_active && proactive_failure_pending(st)) {
       return ftmpi::kErrProcFailed;
     }
     const int rc = st.solver->step();
@@ -232,24 +253,35 @@ bool FtApp::proactive_failure_pending(RankState& st) {
 
 void FtApp::entry(const std::vector<std::string>& argv) {
   RankState st{Reconstructor{{cfg_.app_name, argv}}};
-  const bool is_child = !ftmpi::get_parent().is_null();
-  if (is_child) {
-    const auto res = st.recon.reconstruct({});
-    st.world = res.comm;
-  } else {
-    st.world = ftmpi::world();
-  }
-  st.wrank = st.world.rank();
-  st.grid = layout_.grid_of_rank(st.wrank);
+  st.argv = argv;
   st.btopo = make_buddy_topology(layout_, ftmpi::runtime().slots_per_host());
   st.dt = ftr::advection::stable_timestep(cfg_.layout.scheme.n, cfg_.problem, cfg_.cfl);
+  const bool is_child = !ftmpi::get_parent().is_null();
 
   long resume_interval = 0;
   if (is_child) {
-    // The broadcast inside post_repair tells us which interval to resume at.
-    post_repair(st, /*interval_index=*/-1, /*is_child=*/true);
-    resume_interval = st.bcast_interval + 1;
+    const auto res = st.recon.reconstruct({});
+    st.world = res.comm;
+    if (cfg_.recovery == RecoveryPolicy::Overlap && !st.world.is_null() &&
+        res.mode == RecoveryMode::Repaired && st.world.size() < layout_.total_procs) {
+      // A background repair spawned us: the "world" is the *partial*
+      // repaired world (repair survivors + replacements).  Join the overlap
+      // protocol — it restores our grid, hands off onto the full world and
+      // fills in the run state; on any failure it aborts this process and
+      // the classic fallback respawns it.
+      overlap_child(st);
+      resume_interval = st.bcast_interval + 1;
+    } else {
+      st.wrank = st.world.rank();
+      st.grid = layout_.grid_of_rank(st.wrank);
+      // The broadcast inside post_repair tells us which interval to resume at.
+      post_repair(st, /*interval_index=*/-1, /*is_child=*/true);
+      resume_interval = st.bcast_interval + 1;
+    }
   } else {
+    st.world = ftmpi::world();
+    st.wrank = st.world.rank();
+    st.grid = layout_.grid_of_rank(st.wrank);
     int rc = ftmpi::comm_split(st.world, st.grid, st.wrank, &st.gcomm);
     if (rc != kSuccess) return;
     st.solver = std::make_unique<ParallelSolver>(layout_.slots[static_cast<size_t>(st.grid)].level,
@@ -279,6 +311,7 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
   const long c = cfg_.checkpoints;
   for (long i = start_interval; i <= c; ++i) {
     const long target = interval_target(i);
+    FTR_DEBUG("ft_app: rank %d interval %ld target %ld", st.wrank, i, target);
     int step_rc = kSuccess;
     if (st.solver) {  // idle (degraded) ranks skip straight to detection
       const double t0 = ftmpi::wtime();
@@ -291,6 +324,15 @@ void FtApp::run_checkpoint_restart_from(RankState& st, long start_interval) {
     // survivor that has already left the solve loop).
     if (step_rc != kSuccess && !st.gcomm.is_null()) {
       ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.cr.revoke");
+    }
+
+    // Overlapped recovery: when the loss pattern allows it, unaffected
+    // grids keep stepping this interval while the repair runs behind them;
+    // on a successful handoff the interval is already complete.  A false
+    // return (no failure, non-overlappable pattern, or aborted overlap)
+    // falls through to the classic stop-the-world detection point.
+    if (cfg_.recovery == RecoveryPolicy::Overlap && try_overlap_recovery(st, i, step_rc)) {
+      continue;
     }
 
     // Detection is tested before the checkpoint write (paper Sec. III).
@@ -330,6 +372,14 @@ void FtApp::run_combination_technique(RankState& st) {
   // reach the detection point (see run_checkpoint_restart_from).
   if (step_rc != kSuccess && !st.gcomm.is_null()) {
     ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.ct.revoke");
+  }
+
+  // Overlapped recovery before the classic detection point (see
+  // run_checkpoint_restart_from); the handoff leaves every grid at the
+  // final target, so the combination can proceed directly.
+  if (cfg_.recovery == RecoveryPolicy::Overlap &&
+      try_overlap_recovery(st, cfg_.checkpoints, step_rc)) {
+    return;
   }
 
   // Single detection point at the end, before the combination (paper).
@@ -386,6 +436,8 @@ void FtApp::accumulate_timings(RankState& st, const ReconstructTimings& t) {
 }
 
 void FtApp::post_repair(RankState& st, long interval, bool is_child) {
+  FTR_DEBUG("ft_app: rank %d post_repair interval %ld child=%d", st.wrank, interval,
+            static_cast<int>(is_child));
   // 1. Run-state broadcast so respawned children can fast-forward:
   //    [interval, #lost, lost grid ids...].
   long header[2] = {interval, 0};
@@ -448,7 +500,11 @@ void FtApp::post_repair(RankState& st, long interval, bool is_child) {
   //     when restoration starts) must be re-established.  Group-local: only
   //     this grid's communicator is involved, and the world barrier below
   //     resynchronizes everyone.
-  if (cfg_.proactive_recovery && st.solver && !is_child &&
+  // Overlap's classic fallback lands here with exactly the same staggered /
+  // torn hazards (continuation ranks stepped past the failure point before
+  // the abort), so the catch-up also runs for RecoveryPolicy::Overlap.
+  if ((cfg_.proactive_recovery || cfg_.recovery == RecoveryPolicy::Overlap) && st.solver &&
+      !is_child &&
       std::find(lost_ids.begin(), lost_ids.end(), static_cast<long>(st.grid)) ==
           lost_ids.end()) {
     const long target = interval_target(header[0]);
@@ -643,7 +699,13 @@ void FtApp::buddy_restore_one(RankState& st, int grid, long step, long target) {
 }
 
 void FtApp::buddy_tick(RankState& st) {
-  if (cfg_.buddy_every <= 0 || st.degraded || !st.solver || st.gcomm.is_null()) return;
+  // During an overlap the world is partial (or st.world is the pre-repair
+  // world the continuation side no longer steps on), so the buddy topology's
+  // rank addressing is invalid; replication resumes after the handoff.
+  if (cfg_.buddy_every <= 0 || st.degraded || st.overlap_active || !st.solver ||
+      st.gcomm.is_null()) {
+    return;
+  }
   const long s = st.solver->steps_done();
   if (s <= 0 || s >= cfg_.timesteps || s % cfg_.buddy_every != 0) return;
   const double t0 = ftmpi::wtime();
@@ -876,6 +938,670 @@ void FtApp::execute_plan(RankState& st, const ftr::rec::RecoveryPlan& plan, long
     // combination stage anyway.
     ftmpi::charge_flops(ftr::rec::ac_coefficient_flops(cfg_.layout.scheme, gcp_depth()));
   }
+}
+
+// --- non-blocking overlapped recovery ----------------------------------------
+
+/// Run state the repair leader ships to respawned children and both repair
+/// parties need for the restoration: which interval broke, the step target,
+/// who leads the partial world, and its membership in original world ranks.
+struct FtApp::OverlapView {
+  long interval = -1;
+  long target = 0;
+  int leader_rworld = -1;        ///< repair leader's rank in the partial world
+  std::vector<int> member_olds;  ///< original rank of each partial-world rank
+};
+
+bool FtApp::try_overlap_recovery(RankState& st, long interval, int step_rc) {
+  if (st.degraded || st.world.is_null()) return false;
+
+  // Uniform suspicion probe.  comm_agree's *flag* is uniform across the
+  // survivors but its return code is not (it depends on each rank's local
+  // acked set), and a barrier's outcome can differ between root and members
+  // when a death races the release — so the verdict here is decided purely
+  // from the agreed flags.  Two rounds: round 1 collects "my interval went
+  // clean", round 2 re-ANDs after every survivor has seen round 1's
+  // outcome, so a failure racing round 1 lands uniformly by round 2, and a
+  // unanimous round-2 "clean" means nobody diverges into the overlap prefix
+  // on a half-seen failure.  Anything racing round 2 itself is deferred to
+  // the classic detection point right after (which re-probes from scratch).
+  int clean = (step_rc == kSuccess && !st.world.is_revoked()) ? 1 : 0;
+  const int a1 = ftmpi::comm_agree(st.world, &clean);
+  int sus = (a1 == kSuccess && clean == 1 && !st.world.is_revoked()) ? 1 : 0;
+  ftr::observe_error(ftmpi::comm_agree(st.world, &sus), "ft_app.overlap.probe");
+  if (sus == 1) return false;  // uniformly: no failure this interval
+
+  // A failure is uniformly suspected: arm this attempt.  The world is NOT
+  // revoked here — the probe guarantees every survivor has left its world
+  // collectives, and a classic fallback must still be able to run its own
+  // detection barrier on this world.
+  const std::uint64_t epoch = ++st.overlap_epoch;
+  drain_buddies(st);  // harvest in-flight replicas while the full world is in hand
+
+  Comm shrunken;
+  if (ftmpi::comm_shrink(st.world, &shrunken) != kSuccess) return false;
+  const std::vector<int> failed = Reconstructor::failed_procs_list(st.world, shrunken);
+  if (failed.empty()) return false;  // spurious suspicion (e.g. a bare revoke)
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<size_t>(shrunken.size()));
+  for (const ftmpi::ProcId pid : shrunken.group().pids) {
+    survivors.push_back(st.world.group().rank_of(pid));
+  }
+  const overlap::Classification cls = overlap::classify(layout_, survivors, failed);
+  if (!cls.overlappable()) return false;  // deterministic: uniform bail-out
+
+  // Fold the confirmed failures into the detector so the doorbell wires of
+  // this attempt always carry a post-failure epoch (the heartbeat ring may
+  // not have timed the dead ranks out yet).
+  for (int r : failed) {
+    ftmpi::detector_note_failed(st.world.group().pids.at(static_cast<size_t>(r)));
+  }
+  st.last_failed_ranks = failed;
+  for (int r : failed) st.failed_union.insert(r);
+  for (int g : cls.affected) st.real_lost_grids.insert(g);
+
+  // Stage the buddy generations this rank holds for members of the affected
+  // grids.  Eager sends complete at injection cost, so a continuation rank
+  // pays almost nothing and the repair leader drains the manifests while
+  // the continuation side is already stepping again.
+  std::vector<overlap::StagedReplica> mine_reps;
+  if (cfg_.buddy_every > 0) {
+    for (int g : cls.affected) {
+      const int nprocs = st.btopo.procs_per_grid[static_cast<size_t>(g)];
+      const int first = st.btopo.first_rank[static_cast<size_t>(g)];
+      for (int gr = 0; gr < nprocs; ++gr) {
+        if (ftr::rec::buddy_rank_of(st.btopo, first + gr) != st.wrank) continue;
+        const auto h = buddy_->holding(ftmpi::self_pid(), g, gr);
+        for (const long s : {h.newest, h.prev}) {
+          if (s <= 0) continue;
+          const auto rep = buddy_->read_at(ftmpi::self_pid(), g, gr, s);
+          if (!rep.has_value()) continue;  // CRC-invalid generation
+          overlap::StagedReplica r;
+          r.grid = g;
+          r.grank = gr;
+          r.step = s;
+          r.data = rep->data;
+          mine_reps.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  if (shrunken.rank() != cls.repair_leader_shrunken) {
+    // Every non-leader survivor sends exactly one manifest (possibly empty),
+    // so the leader never waits on a message that will not come.
+    const auto buf = overlap::pack_manifest(mine_reps);
+    ftr::observe_error(ftmpi::send_bytes(buf.data(), buf.size(), cls.repair_leader_shrunken,
+                                         overlap::kTagStage, shrunken),
+                       "ft_app.overlap.stage");
+    mine_reps.clear();
+  }
+
+  ftmpi::chaos_point("repair.split");
+  const bool continuation =
+      std::binary_search(cls.continuation.begin(), cls.continuation.end(), st.wrank);
+  Comm side;
+  if (ftmpi::comm_split(shrunken, continuation ? 0 : 1, st.wrank, &side) != kSuccess) {
+    // The prefix itself broke (another failure): flush everyone out of the
+    // overlap machinery and fall back.
+    ftr::observe_error(ftmpi::comm_revoke(shrunken), "ft_app.overlap.prefix");
+    return false;
+  }
+  FTR_PSAN_OVERLAP_SPLIT(side, epoch);
+
+  st.overlap_active = true;
+  if (continuation) {
+    const bool ok = overlap_continuation(st, interval, cls, shrunken, side, epoch);
+    st.overlap_active = false;
+    return ok;
+  }
+  const bool ok = overlap_repair(st, interval, cls, shrunken, side, epoch, std::move(mine_reps));
+  st.overlap_active = false;
+  return ok;
+}
+
+bool FtApp::overlap_continuation(RankState& st, long interval,
+                                 const overlap::Classification& cls, const ftmpi::Comm& bridge,
+                                 const ftmpi::Comm& ccomm, std::uint64_t epoch) {
+  const long target = interval_target(interval);
+  // Rebuild this grid's communicator inside the continuation world: the old
+  // one was revoked to flush group mates out of the solve loop.
+  Comm gc;
+  const int split_rc = ftmpi::comm_split(ccomm, st.grid, st.wrank, &gc);
+  if (split_rc != kSuccess || !st.solver) {
+    return overlap_abort_continuation(st, ccomm, bridge);
+  }
+  st.gcomm = gc;
+  st.solver->set_comm(st.gcomm);
+  st.solver->set_repair_pending(true);
+
+  // Re-establish the group invariant before stepping on: the exits from the
+  // solve loop were staggered (proactive exits land when gossip does), so
+  // members may disagree on steps_done, and a revoke can have torn a step
+  // mid-sweep.  Same repair as the classic path's post-repair catch-up.
+  int mine[2] = {static_cast<int>(st.solver->steps_done()), st.solver->torn() ? 1 : 0};
+  int lo = mine[0], hi[2] = {mine[0], mine[1]};
+  int arc = ftmpi::allreduce(&mine[0], &lo, 1, ftmpi::ReduceOp::Min, st.gcomm);
+  if (arc == kSuccess) arc = ftmpi::allreduce(mine, hi, 2, ftmpi::ReduceOp::Max, st.gcomm);
+  if (arc != kSuccess) {
+    return overlap_abort_continuation(st, ccomm, bridge);
+  }
+  if (lo != hi[0] || hi[1] != 0) {
+    cr_restore(st, std::vector<int>{st.grid}, std::max<long>(lo, 0));
+    if (st.gcomm.is_revoked()) {
+      return overlap_abort_continuation(st, ccomm, bridge);
+    }
+  }
+
+  // The overlapped solve: keep stepping toward the interval target, poll
+  // the doorbell every `doorbell_poll` steps, and agree on the verdict over
+  // the continuation world so everyone takes the handoff (or the abort)
+  // together.  Once the target is reached the side idles in small virtual
+  // ticks; a bounded idle budget turns a silent repair (e.g. every repair
+  // survivor died before ringing or revoking) into an abort.
+  const std::uint64_t armed = ftmpi::detector_enabled() ? 1 : 0;
+  const long poll_every = std::max<long>(cfg_.doorbell_poll, 1);
+  constexpr double kIdleTick = 50e-6;
+  constexpr double kIdleBudget = 30.0;
+  long stepped = 0;
+  bool aborted = false;
+  int verdict = overlap::kVerdictNone;
+  double idle_since = -1.0;
+  const double t0 = ftmpi::wtime();
+  while (!aborted && verdict == overlap::kVerdictNone) {
+    for (long k = 0; k < poll_every; ++k) {
+      if (st.solver->steps_done() < target) {
+        maybe_self_kill(st, st.solver->steps_done());
+        if (st.solver->step() != kSuccess) {
+          aborted = true;  // a failure on the continuation side itself
+          break;
+        }
+        ++stepped;
+      } else {
+        ftmpi::advance(kIdleTick);
+      }
+    }
+    int v = aborted ? overlap::kVerdictAbort : overlap::kVerdictNone;
+    if (!aborted && ccomm.rank() == 0 &&
+        overlap::poll_doorbell(bridge, epoch, armed, &v) != kSuccess) {
+      v = overlap::kVerdictAbort;
+    }
+    if (!aborted && v == overlap::kVerdictNone && st.solver->steps_done() >= target) {
+      if (idle_since < 0.0) {
+        idle_since = ftmpi::wtime();
+      } else if (ftmpi::wtime() - idle_since > kIdleBudget) {
+        FTR_WARN("ft_app: overlap idle budget exhausted on rank %d; aborting the attempt",
+                 st.wrank);
+        v = overlap::kVerdictAbort;
+      }
+    }
+    int agreed = v;
+    if (ftmpi::allreduce(&v, &agreed, 1, ftmpi::ReduceOp::Max, ccomm) != kSuccess) {
+      aborted = true;
+      break;
+    }
+    verdict = agreed;
+    if (verdict == overlap::kVerdictAbort) aborted = true;
+  }
+  st.solve_time += ftmpi::wtime() - t0;
+
+  if (aborted || verdict != overlap::kVerdictReady) {
+    return overlap_abort_continuation(st, ccomm, bridge);
+  }
+  ftmpi::runtime().add(keys::kOverlapSteps, static_cast<double>(stepped));
+  Comm nworld;
+  const int hrc = overlap::handoff(ccomm, /*local_leader=*/0, /*continuation_side=*/true,
+                                   st.wrank, bridge, cls.repair_leader_shrunken, &nworld);
+  if (hrc != kSuccess) {
+    return overlap_abort_continuation(st, ccomm, bridge);
+  }
+  if (!overlap_adopt(st, std::move(nworld), cls.repair_leader_old, epoch)) {
+    return overlap_abort_continuation(st, ccomm, bridge);
+  }
+  return true;
+}
+
+bool FtApp::overlap_abort_continuation(RankState& st, const ftmpi::Comm& ccomm,
+                                       const ftmpi::Comm& bridge) {
+  if (!ccomm.is_null() && ccomm.rank() == 0) ftmpi::runtime().add(keys::kOverlapAborts, 1.0);
+  if (st.solver) st.solver->set_repair_pending(false);
+  // Revocation is the convergence mechanism: the bridge revoke aborts the
+  // repair side's doorbell/handoff (and through it the children), the
+  // ccomm/gcomm revokes flush continuation mates out of whatever overlap
+  // collective they are parked in.  Everyone then meets at the classic
+  // stop-the-world reconstruct of the (unrevoked) old world.
+  ftr::observe_error(ftmpi::comm_revoke(bridge), "ft_app.overlap.abort");
+  ftr::observe_error(ftmpi::comm_revoke(ccomm), "ft_app.overlap.abort");
+  if (!st.gcomm.is_null()) {
+    ftr::observe_error(ftmpi::comm_revoke(st.gcomm), "ft_app.overlap.abort");
+  }
+  return false;
+}
+
+bool FtApp::overlap_abort_repair(RankState& st, const ftmpi::Comm& bridge,
+                                 const ftmpi::Comm& rcomm,
+                                 const overlap::Classification& cls, std::uint64_t epoch,
+                                 const char* why) {
+  FTR_WARN("ft_app: overlap repair failed at %s (rank %d); falling back", why, st.wrank);
+  // The restoration path armed the solver's repair_pending latch; drop it,
+  // or the classic fallback's combination gathers bounce off kErrPending
+  // forever while the gather root waits (deadlock).
+  if (st.solver) st.solver->set_repair_pending(false);
+  // Every failing repair survivor rings ABORT itself (the poll drains all
+  // senders and ABORT outranks READY), then revokes the overlap comms so
+  // both sides — and any children parked in the protocol — converge on
+  // the classic fallback.
+  ftr::observe_error(overlap::ring_doorbell(bridge, cls.continuation_leader_shrunken,
+                                            overlap::kVerdictAbort, epoch),
+                     "ft_app.overlap.abort_ring");
+  ftr::observe_error(ftmpi::comm_revoke(bridge), "ft_app.overlap.abort");
+  ftr::observe_error(ftmpi::comm_revoke(rcomm), "ft_app.overlap.abort");
+  return false;
+}
+
+bool FtApp::overlap_repair(RankState& st, long interval, const overlap::Classification& cls,
+                           const ftmpi::Comm& bridge, const ftmpi::Comm& rcomm,
+                           std::uint64_t epoch, std::vector<overlap::StagedReplica> staged) {
+  // Spawn the replacements on the failed ranks' hosts, exactly like the
+  // classic repair, but over the repair group only — the continuation side
+  // is already stepping while this runs.
+  const int slots = ftmpi::runtime().slots_per_host();
+  std::vector<ftmpi::SpawnUnit> units;
+  for (int r : cls.failed) {
+    ftmpi::SpawnUnit u;
+    u.command = cfg_.app_name;
+    u.argv = st.argv;
+    u.maxprocs = 1;
+    u.host = r / slots;
+    units.push_back(std::move(u));
+  }
+  Comm inter;
+  if (ftmpi::comm_spawn_multiple(units, 0, rcomm, &inter) != kSuccess) {
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "spawn");
+  }
+  // Child protocol lockstep (reconstruct()'s child path): agree validates
+  // the spawn, merge orders parents first, merged rank 0 ships the old
+  // ranks, the ordered split builds the partial repaired world.
+  int flag = 1;
+  if (ftmpi::comm_agree(inter, &flag) != kSuccess) {
+    ftr::observe_error(ftmpi::comm_free(&inter), "ft_app.overlap.free");
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "spawn_agree");
+  }
+  Comm merged;
+  const int mrc = ftmpi::intercomm_merge(inter, /*high=*/false, &merged);
+  ftr::observe_error(ftmpi::comm_free(&inter), "ft_app.overlap.free");
+  if (mrc != kSuccess) {
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "merge");
+  }
+  if (merged.rank() == 0) {
+    for (size_t i = 0; i < cls.failed.size(); ++i) {
+      // A dead child surfaces at the split below; tolerated here.
+      ftr::observe_error(ftmpi::send(&cls.failed[i], 1,
+                                     rcomm.size() + static_cast<int>(i), kMergeTag, merged),
+                         "ft_app.overlap.oldrank");
+    }
+  }
+  Comm rworld;
+  const int src = ftmpi::comm_split(merged, 0, st.wrank, &rworld);
+  ftr::observe_error(ftmpi::comm_free(&merged), "ft_app.overlap.free");
+  if (src != kSuccess) {
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "split");
+  }
+
+  // Verify the partial world in lockstep with the children's reconstruct()
+  // iteration (errhandler + agree + barrier).  A *further* failure during
+  // the verify respawns children with a membership this attempt's
+  // bookkeeping no longer describes — treated as an overlap abort rather
+  // than patched up mid-flight.
+  const auto vres = st.recon.reconstruct(rworld);
+  if (vres.exhausted || vres.repaired || vres.mode == RecoveryMode::Degraded) {
+    ftr::observe_error(ftmpi::comm_revoke(vres.comm.is_null() ? rworld : vres.comm),
+                       "ft_app.overlap.abort");
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "verify");
+  }
+  rworld = vres.comm;
+
+  OverlapView view;
+  view.interval = interval;
+  view.target = interval_target(interval);
+  view.leader_rworld = cls.repair_leader_rworld();
+  view.member_olds = cls.rworld;
+
+  if (rworld.rank() == view.leader_rworld) {
+    // Ship the run state to the children (they know nothing but their
+    // partial world), then drain the staged manifests off the bridge.
+    const std::set<int> fset(cls.failed.begin(), cls.failed.end());
+    for (int p = 0; p < static_cast<int>(view.member_olds.size()); ++p) {
+      if (fset.count(view.member_olds[static_cast<size_t>(p)]) == 0) continue;
+      std::vector<long> wire;
+      wire.push_back(view.interval);
+      wire.push_back(view.target);
+      wire.push_back(view.leader_rworld);
+      wire.push_back(static_cast<long>(view.member_olds.size()));
+      for (int m : view.member_olds) wire.push_back(m);
+      if (ftmpi::send(wire.data(), static_cast<int>(wire.size()), p, overlap::kTagChildInfo,
+                      rworld) != kSuccess) {
+        ftr::observe_error(ftmpi::comm_revoke(rworld), "ft_app.overlap.abort");
+        return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "child_info");
+      }
+    }
+    for (int r = 0; r < bridge.size(); ++r) {
+      if (r == cls.repair_leader_shrunken) continue;
+      ftmpi::Status stat;
+      if (ftmpi::probe(r, overlap::kTagStage, bridge, &stat) != kSuccess) continue;
+      std::vector<std::byte> buf(static_cast<size_t>(stat.count));
+      if (ftmpi::recv_bytes(buf.data(), buf.size(), r, overlap::kTagStage, bridge, &stat) !=
+          kSuccess) {
+        continue;  // dead sender: its replicas are simply unavailable
+      }
+      auto reps = overlap::unpack_manifest(buf.data(), static_cast<size_t>(stat.count));
+      staged.insert(staged.end(), std::make_move_iterator(reps.begin()),
+                    std::make_move_iterator(reps.end()));
+    }
+  }
+
+  if (!overlap_repair_world(st, std::move(rworld), view, bridge,
+                            cls.continuation_leader_shrunken, epoch, /*is_child=*/false,
+                            std::move(staged))) {
+    return overlap_abort_repair(st, bridge, rcomm, cls, epoch, "repair_world");
+  }
+  return true;
+}
+
+bool FtApp::overlap_abort_restore(RankState& st, const ftmpi::Comm& rworld, const char* why) {
+  // The revoke flushes every partial-world member (children included) out
+  // of the protocol; survivors then run the abort convergence in
+  // overlap_abort_repair(), children abort and get respawned classically.
+  FTR_WARN("ft_app: overlap restoration failed at %s (rank %d)", why, st.wrank);
+  // See overlap_abort_repair: the latch must not outlive the attempt.
+  if (st.solver) st.solver->set_repair_pending(false);
+  ftr::observe_error(ftmpi::comm_revoke(rworld), "ft_app.overlap.abort");
+  return false;
+}
+
+bool FtApp::overlap_repair_world(RankState& st, ftmpi::Comm rworld, const OverlapView& view,
+                                 const ftmpi::Comm& bridge, int cont_leader_shrunken,
+                                 std::uint64_t epoch, bool is_child,
+                                 std::vector<overlap::StagedReplica> staged) {
+  Comm gc;
+  const int split_rc = ftmpi::comm_split(rworld, st.grid, st.wrank, &gc);
+  if (split_rc != kSuccess) {
+    return overlap_abort_restore(st, rworld, "split");
+  }
+  st.gcomm = gc;
+  if (is_child || !st.solver) {
+    st.solver = std::make_unique<ParallelSolver>(
+        layout_.slots[static_cast<size_t>(st.grid)].level, cfg_.problem, st.dt, st.gcomm);
+  } else {
+    st.solver->set_comm(st.gcomm);
+  }
+  st.solver->set_repair_pending(true);
+
+  // The leader plans the restoration from the staged manifests (the only
+  // buddy knowledge that crossed the split) and broadcasts it with the
+  // classic wire idiom; the lattice is restricted to Buddy -> Disk because
+  // the RC partners live on the unreachable continuation side.
+  const std::vector<int> affected = layout_.grids_of_ranks(view.member_olds);
+  std::vector<long> wire;  // [n, gcp_feasible, then 4 longs per entry]
+  if (rworld.rank() == view.leader_rworld) {
+    std::map<std::pair<int, int>, std::set<long>> gens;
+    for (const auto& r : staged) gens[{r.grid, r.grank}].insert(r.step);
+    std::vector<ftr::rec::GridFacts> facts;
+    for (int g : affected) {
+      ftr::rec::GridFacts f;
+      f.id = g;
+      f.group_complete = true;
+      const int nprocs = st.btopo.procs_per_grid[static_cast<size_t>(g)];
+      std::set<long> common;
+      bool first = true;
+      for (int gr = 0; gr < nprocs; ++gr) {
+        const auto it = gens.find({g, gr});
+        if (it == gens.end()) {
+          common.clear();
+          break;
+        }
+        if (first) {
+          common = it->second;
+          first = false;
+        } else {
+          std::set<long> keep;
+          std::set_intersection(common.begin(), common.end(), it->second.begin(),
+                                it->second.end(), std::inserter(keep, keep.begin()));
+          common = std::move(keep);
+        }
+      }
+      if (!common.empty()) {
+        f.buddy_available = true;
+        f.buddy_step = *common.rbegin();  // newest generation every member has
+      }
+      facts.push_back(f);
+    }
+    const auto planned = ftr::rec::plan_recovery(
+        layout_.slots, cfg_.layout.scheme, gcp_depth(), ftr::rec::PlannerMode::Overlap, facts,
+        std::vector<int>(st.unrestored.begin(), st.unrestored.end()));
+    wire.push_back(static_cast<long>(planned.entries.size()));
+    wire.push_back(planned.gcp_feasible ? 1 : 0);
+    for (const auto& e : planned.entries) {
+      wire.push_back(e.grid);
+      wire.push_back(static_cast<long>(e.action));
+      wire.push_back(e.step);
+      wire.push_back(e.partner);
+    }
+  }
+  long hdr[2] = {0, 1};
+  if (rworld.rank() == view.leader_rworld && wire.size() >= 2) {
+    hdr[0] = wire[0];
+    hdr[1] = wire[1];
+  }
+  if (ftmpi::bcast(hdr, 2, view.leader_rworld, rworld) != kSuccess) {
+    return overlap_abort_restore(st, rworld, "plan_hdr");
+  }
+  std::vector<long> body(static_cast<size_t>(std::max<long>(hdr[0], 0)) * 4);
+  if (rworld.rank() == view.leader_rworld && !body.empty()) {
+    body.assign(wire.begin() + 2, wire.end());
+  }
+  if (!body.empty() &&
+      ftmpi::bcast(body.data(), static_cast<int>(body.size()), view.leader_rworld, rworld) !=
+          kSuccess) {
+    return overlap_abort_restore(st, rworld, "plan_body");
+  }
+  ftr::rec::RecoveryPlan plan;
+  plan.gcp_feasible = hdr[1] != 0;
+  for (size_t i = 0; i + 3 < body.size(); i += 4) {
+    ftr::rec::PlanEntry e;
+    e.grid = static_cast<int>(body[i]);
+    e.action = static_cast<ftr::rec::RecoveryAction>(body[i + 1]);
+    e.step = body[i + 2];
+    e.partner = static_cast<int>(body[i + 3]);
+    plan.entries.push_back(e);
+  }
+
+  // The leader pre-ships every Buddy replica with eager sends before anyone
+  // blocks in its own grid's restore, so cross-grid restores cannot
+  // deadlock on the leader being busy.
+  const auto rank_of_old = [&](int old_rank) {
+    const auto it =
+        std::lower_bound(view.member_olds.begin(), view.member_olds.end(), old_rank);
+    if (it == view.member_olds.end() || *it != old_rank) return -1;
+    return static_cast<int>(it - view.member_olds.begin());
+  };
+  if (rworld.rank() == view.leader_rworld) {
+    for (const auto& e : plan.entries) {
+      if (e.action != ftr::rec::RecoveryAction::Buddy) continue;
+      const int first = st.btopo.first_rank[static_cast<size_t>(e.grid)];
+      const int nprocs = st.btopo.procs_per_grid[static_cast<size_t>(e.grid)];
+      for (int gr = 0; gr < nprocs; ++gr) {
+        const int dst = rank_of_old(first + gr);
+        if (dst < 0 || dst == rworld.rank()) continue;
+        const auto hit = std::find_if(staged.begin(), staged.end(), [&](const auto& r) {
+          return r.grid == e.grid && r.grank == gr && r.step == e.step;
+        });
+        if (hit == staged.end()) continue;  // member detects the gap and revokes
+        const auto buf = ftr::rec::pack_replica(e.grid, gr, e.step, hit->data);
+        ftr::observe_error(ftmpi::send_bytes(buf.data(), buf.size(), dst,
+                                             overlap::kTagRestore, rworld),
+                           "ft_app.overlap.restore_ship");
+      }
+    }
+  }
+
+  // Execute this rank's own entry.
+  for (const auto& e : plan.entries) {
+    if (e.action == ftr::rec::RecoveryAction::Gcp || e.action == ftr::rec::RecoveryAction::Idle) {
+      st.unrestored.insert(e.grid);  // uniform: from the agreed plan
+      continue;
+    }
+    if (e.grid != st.grid) continue;
+    if (e.action == ftr::rec::RecoveryAction::Buddy) {
+      std::optional<ftr::rec::ReplicaMessage> msg;
+      if (rworld.rank() == view.leader_rworld) {
+        const auto hit = std::find_if(staged.begin(), staged.end(), [&](const auto& r) {
+          return r.grid == e.grid && r.grank == st.gcomm.rank() && r.step == e.step;
+        });
+        if (hit != staged.end()) {
+          msg = ftr::rec::ReplicaMessage{};
+          msg->grid = hit->grid;
+          msg->grank = hit->grank;
+          msg->step = hit->step;
+          msg->data = hit->data;
+        }
+      } else {
+        const size_t cells = static_cast<size_t>(st.solver->field().block().cells());
+        std::vector<std::byte> buf(5 * sizeof(long) + cells * sizeof(double));
+        ftmpi::Status stat;
+        const int rc = ftmpi::recv_bytes(buf.data(), buf.size(), view.leader_rworld,
+                                         overlap::kTagRestore, rworld, &stat);
+        if (rc == kSuccess) {
+          msg = ftr::rec::unpack_replica(buf.data(), static_cast<size_t>(stat.count));
+        }
+      }
+      const size_t cells = static_cast<size_t>(st.solver->field().block().cells());
+      if (!msg.has_value() || msg->step != e.step || msg->data.size() != cells) {
+        return overlap_abort_restore(st, rworld, "buddy_restore");
+      }
+      unpack_interior(msg->data, st.solver->field());
+      st.solver->set_steps_done(msg->step);
+      if (solve_to(st, view.target) != kSuccess) {
+        return overlap_abort_restore(st, rworld, "recompute");
+      }
+    } else {  // Disk (RC rungs are gated off in PlannerMode::Overlap)
+      cr_restore(st, std::vector<int>{st.grid}, view.target);
+      if (st.gcomm.is_revoked()) {
+        return overlap_abort_restore(st, rworld, "disk_restore");
+      }
+    }
+  }
+
+  // Completion barrier over the partial world, then the doorbell and the
+  // handoff back onto the full-world rank layout.
+  if (ftmpi::barrier(rworld) != kSuccess) {
+    return overlap_abort_restore(st, rworld, "sync");
+  }
+  if (rworld.rank() == view.leader_rworld) {
+    if (overlap::ring_doorbell(bridge, cont_leader_shrunken, overlap::kVerdictReady, epoch) !=
+        kSuccess) {
+      return overlap_abort_restore(st, rworld, "doorbell");
+    }
+  }
+  Comm nworld;
+  const int hrc = overlap::handoff(rworld, view.leader_rworld, /*continuation_side=*/false,
+                                   st.wrank, bridge, cont_leader_shrunken, &nworld);
+  if (hrc != kSuccess) {
+    return overlap_abort_restore(st, rworld, "handoff");
+  }
+  if (!overlap_adopt(st, std::move(nworld),
+                     view.member_olds[static_cast<size_t>(view.leader_rworld)], epoch)) {
+    return overlap_abort_restore(st, rworld, "adopt");
+  }
+  if (rworld.rank() == view.leader_rworld) {
+    ftmpi::runtime().add(keys::kOverlapHandoffs, 1.0);
+  }
+  return true;
+}
+
+void FtApp::overlap_child(RankState& st) {
+  // We only know our partial world; the repair leader ships everything else.
+  // The info wait is a bounded non-blocking loop: iprobe with kAnySource
+  // never reports dead peers, so a repair group that died entirely before
+  // sending would otherwise hang us forever — after the budget we abort and
+  // the classic fallback (driven by the continuation side's timeout)
+  // respawns us.
+  const Comm rworld = st.world;
+  constexpr double kWaitTick = 50e-6;
+  constexpr double kWaitBudget = 30.0;
+  const double t0 = ftmpi::wtime();
+  ftmpi::Status stat;
+  for (;;) {
+    int flag = 0;
+    if (ftmpi::iprobe(ftmpi::kAnySource, overlap::kTagChildInfo, rworld, &flag, &stat) !=
+        kSuccess) {
+      ftmpi::abort_self();
+    }
+    if (flag != 0) break;
+    if (ftmpi::wtime() - t0 > kWaitBudget) {
+      FTR_WARN("ft_app: overlap child timed out waiting for run state; aborting orphan");
+      ftmpi::abort_self();
+    }
+    ftmpi::advance(kWaitTick);
+  }
+  // Probe counts are payload bytes; the wire is longs.
+  std::vector<long> wire(static_cast<size_t>(std::max(stat.count, 0)) / sizeof(long));
+  if (ftmpi::recv(wire.data(), static_cast<int>(wire.size()), stat.source,
+                  overlap::kTagChildInfo, rworld) != kSuccess ||
+      wire.size() < 4 ||
+      wire.size() < 4 + static_cast<size_t>(std::max<long>(wire[3], 0))) {
+    ftmpi::abort_self();
+  }
+  OverlapView view;
+  view.interval = wire[0];
+  view.target = wire[1];
+  view.leader_rworld = static_cast<int>(wire[2]);
+  for (long i = 0; i < wire[3]; ++i) {
+    view.member_olds.push_back(static_cast<int>(wire[4 + static_cast<size_t>(i)]));
+  }
+  if (rworld.rank() < 0 ||
+      rworld.rank() >= static_cast<int>(view.member_olds.size())) {
+    ftmpi::abort_self();
+  }
+  st.wrank = view.member_olds[static_cast<size_t>(rworld.rank())];
+  st.grid = layout_.grid_of_rank(st.wrank);
+  st.bcast_interval = view.interval;
+  for (int g : layout_.grids_of_ranks(view.member_olds)) st.real_lost_grids.insert(g);
+
+  st.overlap_active = true;
+  const bool ok = overlap_repair_world(st, rworld, view, Comm{}, -1, /*epoch=*/0,
+                                       /*is_child=*/true, {});
+  st.overlap_active = false;
+  if (!ok) ftmpi::abort_self();
+}
+
+bool FtApp::overlap_adopt(RankState& st, ftmpi::Comm nworld, int leader_old,
+                          std::uint64_t epoch) {
+  // This rank has acked the doorbell: the pre-handoff world (and the side
+  // comm of the attempt) is dead weight from here on.  Under FTR_PSAN a
+  // straggler collective on either context aborts with a pinned diagnostic.
+  FTR_PSAN_HANDOFF(st.world, epoch);
+  st.world = std::move(nworld);
+  st.wrank = st.world.rank();
+  // Agree on the unrestored set (the continuation side has not seen the
+  // repair plan's Gcp/Idle outcomes).  Failure tolerated non-uniformly,
+  // same idiom as the classic post-repair broadcast: a fresh failure here
+  // surfaces at the next detection point.
+  long n = static_cast<long>(st.unrestored.size());
+  std::vector<long> ids(st.unrestored.begin(), st.unrestored.end());
+  if (ftmpi::bcast(&n, 1, leader_old, st.world) != kSuccess) return false;
+  ids.resize(static_cast<size_t>(std::max<long>(n, 0)));
+  if (!ids.empty() &&
+      ftmpi::bcast(ids.data(), static_cast<int>(ids.size()), leader_old, st.world) !=
+          kSuccess) {
+    return false;
+  }
+  for (long id : ids) st.unrestored.insert(static_cast<int>(id));
+  if (st.solver) st.solver->set_repair_pending(false);
+  if (st.wrank == 0) {
+    ++st.repairs;
+    ++st.recon_attempts;
+  }
+  return true;
 }
 
 void FtApp::recovery_and_combine(RankState& st) {

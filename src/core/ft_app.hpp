@@ -36,6 +36,7 @@
 
 #include "advection/parallel_solver.hpp"
 #include "advection/problem.hpp"
+#include "core/async_repair.hpp"
 #include "core/failure_gen.hpp"
 #include "core/layout.hpp"
 #include "core/reconstruct.hpp"
@@ -90,6 +91,13 @@ inline constexpr const char* kBuddyReplTime = "recon.buddy.repl_time";
 /// recovery source (harvesting in-flight buddy replicas early).
 inline constexpr const char* kProactiveExits = "recon.proactive.exits";
 inline constexpr const char* kProactivePrestaged = "recon.proactive.prestaged";
+/// Overlapped recovery (FTR_RECOVERY=overlap): successful doorbell handoffs
+/// onto a background-repaired world, attempts aborted back to the classic
+/// stop-the-world path, and the timesteps continuation ranks computed while
+/// a repair was in flight (the steps the classic path would have lost).
+inline constexpr const char* kOverlapHandoffs = "recon.overlap.handoffs";
+inline constexpr const char* kOverlapAborts = "recon.overlap.aborts";
+inline constexpr const char* kOverlapSteps = "recon.overlap.steps";
 }  // namespace keys
 
 /// How lost grids are restored after a repair.
@@ -101,9 +109,17 @@ inline constexpr const char* kProactivePrestaged = "recon.proactive.prestaged";
 ///               the cheapest feasible source per lost grid;
 ///   Cr/Rc/Ac  — force one technique's restoration regardless of layout
 ///               (infeasible patterns degrade to GCP/idle, never crash).
-/// The FTR_RECOVERY environment variable (planner|cr|rc|ac|technique)
-/// overrides the configured value at construction time.
-enum class RecoveryPolicy { Technique, Planner, Cr, Rc, Ac };
+///   Overlap   — non-blocking overlapped recovery: survivors of unaffected
+///               grids keep time-stepping on a continuation sub-communicator
+///               while the affected grids' survivors rebuild the world in
+///               the background (spawn/merge/split + buddy/disk restore);
+///               the sides rejoin at a versioned doorbell handoff.  Any
+///               failure of the overlap falls back to the classic
+///               stop-the-world reconstruct.  Restoration follows the
+///               planner lattice.
+/// The FTR_RECOVERY environment variable (planner|cr|rc|ac|technique|
+/// overlap) overrides the configured value at construction time.
+enum class RecoveryPolicy { Technique, Planner, Cr, Rc, Ac, Overlap };
 
 struct AppConfig {
   LayoutConfig layout;
@@ -140,7 +156,11 @@ struct AppConfig {
   /// timing, so proactive exits trade run-to-run virtual-time
   /// reproducibility for failure-to-repair latency.  FTR_PROACTIVE
   /// (on|off) overrides; requires the detector (FTR_DETECTOR != off).
+  /// Overlapped recovery turns this on unless FTR_PROACTIVE says off.
   bool proactive_recovery = false;
+  /// Overlapped recovery: continuation ranks poll the doorbell every this
+  /// many timesteps (>= 1).  FTR_DOORBELL_POLL overrides.
+  long doorbell_poll = 1;
 };
 
 class FtApp {
@@ -222,6 +242,58 @@ class FtApp {
 
   /// Recovery of simulated losses + final combination and error report.
   void recovery_and_combine(RankState& st);
+
+  // --- non-blocking overlapped recovery (RecoveryPolicy::Overlap) ----------
+  struct OverlapView;  // defined in ft_app.cpp
+
+  /// Collective over the (possibly broken) world at a detection point.
+  /// Runs the uniform suspicion probe; when a failure is confirmed and the
+  /// loss pattern is overlappable, splits the survivors into continuation
+  /// and repair sides and drives them to a doorbell handoff.  Returns true
+  /// iff the repaired world was adopted (the caller skips the classic
+  /// reconstruct); false means "no failure" or "overlap aborted" — either
+  /// way the classic detection point right after sorts it out.
+  bool try_overlap_recovery(RankState& st, long interval, int step_rc);
+  /// Continuation side: keep time-stepping to the interval target, polling
+  /// the doorbell group-consistently at step boundaries.
+  bool overlap_continuation(RankState& st, long interval,
+                            const overlap::Classification& cls, const ftmpi::Comm& bridge,
+                            const ftmpi::Comm& ccomm, std::uint64_t epoch);
+  /// Count the abort, drop the repair-pending gate and revoke the overlap
+  /// communicators so both sides converge on the classic fallback.
+  bool overlap_abort_continuation(RankState& st, const ftmpi::Comm& ccomm,
+                                  const ftmpi::Comm& bridge);
+  /// Repair-side abort: ring the ABORT doorbell, then revoke the bridge and
+  /// the repair sub-communicator so both sides (and any children parked in
+  /// the protocol) converge on the classic fallback.
+  bool overlap_abort_repair(RankState& st, const ftmpi::Comm& bridge,
+                            const ftmpi::Comm& rcomm, const overlap::Classification& cls,
+                            std::uint64_t epoch, const char* why);
+  /// Restoration abort: revoke the partial repaired world, flushing every
+  /// member (children included) out of the protocol; survivors then run the
+  /// repair-side abort, children abort and get respawned classically.
+  bool overlap_abort_restore(RankState& st, const ftmpi::Comm& rworld, const char* why);
+  /// Repair side (survivors): spawn/merge/ordered-split the partial world,
+  /// verify it in lockstep with the children, ship them the run state,
+  /// drain the staged replica manifests, then restore and hand off.
+  bool overlap_repair(RankState& st, long interval, const overlap::Classification& cls,
+                      const ftmpi::Comm& bridge, const ftmpi::Comm& rcomm,
+                      std::uint64_t epoch, std::vector<overlap::StagedReplica> staged);
+  /// Shared by repair survivors and respawned children: grid communicators
+  /// over the partial world, plan + restore the affected grids, completion
+  /// barrier, doorbell, handoff, adoption.
+  bool overlap_repair_world(RankState& st, ftmpi::Comm rworld, const OverlapView& view,
+                            const ftmpi::Comm& bridge, int cont_leader_shrunken,
+                            std::uint64_t epoch, bool is_child,
+                            std::vector<overlap::StagedReplica> staged);
+  /// Child entry: receive the run state from the repair leader on the
+  /// partial world and join overlap_repair_world.  Aborts the process on
+  /// any failure (the classic fallback respawns it).
+  void overlap_child(RankState& st);
+  /// Swap onto the repaired full world (rank == original rank) and agree on
+  /// the unrestored set.
+  bool overlap_adopt(RankState& st, ftmpi::Comm nworld, int leader_old,
+                     std::uint64_t epoch);
 
   static void accumulate_timings(RankState& st, const ReconstructTimings& t);
   void maybe_self_kill(const RankState& st, long step);

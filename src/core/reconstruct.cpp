@@ -87,6 +87,7 @@ int Reconstructor::repair_once(ftmpi::Comm& broken, ReconstructResult& out) {
 
   t0 = MPI_Wtime();
   MPI_Comm shrunken;
+  FTR_DEBUG("repair: pid %d entering shrink", ftmpi::self_pid());
   int rc = OMPI_Comm_shrink(broken, &shrunken);
   out.timings.shrink += MPI_Wtime() - t0;
   if (rc != MPI_SUCCESS) return rc;
@@ -148,14 +149,17 @@ int Reconstructor::repair_once(ftmpi::Comm& broken, ReconstructResult& out) {
   // from revoke (parents) or aborts (children).
   t0 = MPI_Wtime();
   int flag = 1;
+  FTR_DEBUG("repair: pid %d spawn done, entering inter agree", ftmpi::self_pid());
   rc = OMPI_Comm_agree(temp_intercomm, &flag);
   out.timings.agree += MPI_Wtime() - t0;
+  FTR_DEBUG("repair: pid %d inter agree rc=%d", ftmpi::self_pid(), rc);
   if (rc != MPI_SUCCESS) return rc;
 
   t0 = MPI_Wtime();
   MPI_Comm unorder_intracomm;
   rc = MPI_Intercomm_merge(temp_intercomm, /*high=*/0, &unorder_intracomm);
   out.timings.merge += MPI_Wtime() - t0;
+  FTR_DEBUG("repair: pid %d merge rc=%d", ftmpi::self_pid(), rc);
   if (rc != MPI_SUCCESS) return rc;
   CommGuard merged_guard(&unorder_intracomm);
 
@@ -186,6 +190,7 @@ int Reconstructor::repair_once(ftmpi::Comm& broken, ReconstructResult& out) {
   MPI_Comm repaired;
   rc = MPI_Comm_split(unorder_intracomm, 0, rank_key, &repaired);
   out.timings.split += MPI_Wtime() - t0;
+  FTR_DEBUG("repair: pid %d ordered split rc=%d", ftmpi::self_pid(), rc);
   if (rc != MPI_SUCCESS) return rc;
   out.comm = repaired;
   if (out.mode != RecoveryMode::Degraded) out.mode = RecoveryMode::Repaired;
@@ -248,6 +253,7 @@ ReconstructResult Reconstructor::reconstruct(ftmpi::Comm my_world) {
       // so an agree error here is deliberately left to the barrier.
       ftr::observe_error(OMPI_Comm_agree(reconstructed, &flag), "reconstruct.sync.agree");
       return_value = MPI_Barrier(reconstructed);       // detect failure
+      FTR_DEBUG("reconstruct: pid %d sync barrier rc=%d", ftmpi::self_pid(), return_value);
       if (return_value != MPI_SUCCESS) {
         // Failure identification (Fig. 8a): the collective work of reaching
         // globally consistent failure knowledge — agree + the detecting

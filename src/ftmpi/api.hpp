@@ -373,6 +373,15 @@ FTR_NODISCARD int comm_spawn_multiple(const std::vector<SpawnUnit>& units, int r
 /// MPI_Intercomm_merge.  The side passing high=false is ordered first.
 FTR_NODISCARD int intercomm_merge(const Comm& inter, bool high, Comm* out);
 
+/// MPI_Intercomm_create.  Collective over `local`; the two leaders exchange
+/// group membership over `bridge` (significant at the leaders only) and the
+/// whole of both groups receives the new intercommunicator.  `tag`
+/// disambiguates concurrent creates over the same bridge.  Overlapped
+/// recovery uses this to join the continuation sub-communicator with the
+/// repaired group without a world-wide collective.
+FTR_NODISCARD int intercomm_create(const Comm& local, int local_leader, const Comm& bridge,
+                                   int remote_leader, int tag, Comm* out);
+
 // --- ULFM extensions -------------------------------------------------------------
 
 /// OMPI_Comm_revoke: mark the communicator revoked everywhere; all pending

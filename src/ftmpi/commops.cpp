@@ -124,6 +124,128 @@ int comm_split(const Comm& c, int color, int key, Comm* out) {
 
 int comm_dup(const Comm& c, Comm* out) { return comm_split(c, 0, c.rank(), out); }
 
+namespace {
+
+/// Leader announcement of the freshly built intercommunicator to its local
+/// group (or a failure notice when the cross-leader exchange died).
+struct InterCreateInfo {
+  int outcome;
+  int side;              // which group of the inter context we belong to
+  std::uint64_t ctx_id;  // 0 on failure
+};
+
+}  // namespace
+
+int intercomm_create(const Comm& local, int local_leader, const Comm& bridge,
+                     int remote_leader, int tag, Comm* out) {
+  detail::check_alive();
+  *out = Comm{};
+  if (local.is_null() || local.is_inter()) return kErrComm;
+  if (local_leader < 0 || local_leader >= local.size()) return kErrArg;
+  FTR_PSAN_COLLECTIVE(local, "intercomm_create", local_leader);
+  if (local.is_revoked()) return finish(local, kErrRevoked);
+
+  Runtime& r = detail::rt();
+  const std::uint64_t id = local.context()->id;
+  const Group& g = local.group();
+  const ProcessState& me = detail::self();
+  detail::RecvOpts opts;
+  opts.revoke_ctx = local.context();
+
+  if (local.rank() != local_leader) {
+    // Non-leaders only wait for the leader's announcement; the bridge
+    // communicator is significant at the leaders alone (as in MPI).
+    std::vector<std::byte> payload;
+    const int rc = detail::ctrl_recv(g.pids[static_cast<size_t>(local_leader)], id,
+                                     tags::kInterCreateInfo, &payload, opts);
+    if (rc != kSuccess) return finish(local, rc == kErrRevoked ? rc : kErrProcFailed);
+    const auto info = detail::unpack<InterCreateInfo>(payload);
+    if (info.outcome != kSuccess || info.ctx_id == 0) {
+      return finish(local, info.outcome == kSuccess ? kErrProcFailed : info.outcome);
+    }
+    *out = Comm(r.find_context(info.ctx_id), info.side, me.pid);
+    return kSuccess;
+  }
+
+  // Leader path.  The exchange rides the bridge communicator's control
+  // plane, addressed by pid, so it works even while the bridge's own user
+  // plane is quiesced (overlapped recovery builds the repaired world while
+  // survivors still compute on derived sub-communicators).
+  auto announce = [&](const InterCreateInfo& info) {
+    for (int m = 0; m < g.size(); ++m) {
+      if (m == local_leader) continue;
+      // A member that died meanwhile is observed uniformly at the next
+      // operation on the new intercommunicator; keep delivering to the rest.
+      ftr::observe_error(detail::ctrl_send(g.pids[static_cast<size_t>(m)], id,
+                                           tags::kInterCreateInfo, &info,
+                                           sizeof(InterCreateInfo)),
+                         "intercreate.announce");
+    }
+  };
+  auto fail_out = [&](int code) {
+    announce({code, 0, 0});
+    return finish(local, code);
+  };
+
+  if (bridge.is_null() || remote_leader < 0 || remote_leader >= bridge.size()) {
+    return fail_out(kErrArg);
+  }
+  const std::uint64_t bridge_id = bridge.context()->id;
+  const ProcId peer = bridge.group().pids[static_cast<size_t>(remote_leader)];
+  // Revoking the bridge must unblock a leader parked in the cross exchange
+  // (the abort path of overlapped recovery converges through exactly that).
+  detail::RecvOpts bopts;
+  bopts.revoke_ctx = bridge.context();
+
+  // Cross exchange: [user tag, member count, member pids...].  The user tag
+  // disambiguates concurrent creates over the same bridge, as in MPI.
+  std::vector<int> wire;
+  wire.push_back(tag);
+  wire.push_back(g.size());
+  for (ProcId p : g.pids) wire.push_back(p);
+  if (detail::ctrl_send(peer, bridge_id, tags::kInterCreateCross, wire.data(),
+                        wire.size() * sizeof(int)) != kSuccess) {
+    return fail_out(kErrProcFailed);
+  }
+  std::vector<std::byte> payload;
+  const int xrc = detail::ctrl_recv(peer, bridge_id, tags::kInterCreateCross, &payload, bopts);
+  if (xrc != kSuccess) {
+    return fail_out(xrc == kErrRevoked ? kErrRevoked : kErrProcFailed);
+  }
+  const auto rwire = detail::unpack_vec<int>(payload);
+  if (rwire.size() < 2 || rwire[0] != tag ||
+      rwire.size() != static_cast<size_t>(rwire[1]) + 2) {
+    return fail_out(kErrArg);
+  }
+  Group remote;
+  remote.pids.assign(rwire.begin() + 2, rwire.end());
+
+  // The lower-pid leader materializes the context (group[0] = its side) and
+  // ships the id across; sides are then fixed for everyone by construction.
+  InterCreateInfo info{kSuccess, 0, 0};
+  if (me.pid < peer) {
+    const auto ctx = r.create_context(g, remote, /*inter=*/true);
+    info.ctx_id = ctx->id;
+    info.side = 0;
+    if (detail::ctrl_send(peer, bridge_id, tags::kInterCreateCross, &info.ctx_id,
+                          sizeof(info.ctx_id)) != kSuccess) {
+      return fail_out(kErrProcFailed);
+    }
+  } else {
+    std::vector<std::byte> idbuf;
+    const int irc = detail::ctrl_recv(peer, bridge_id, tags::kInterCreateCross, &idbuf, bopts);
+    if (irc != kSuccess) {
+      return fail_out(irc == kErrRevoked ? kErrRevoked : kErrProcFailed);
+    }
+    info.ctx_id = detail::unpack<std::uint64_t>(idbuf);
+    info.side = 1;
+    if (info.ctx_id == 0) return fail_out(kErrProcFailed);
+  }
+  announce(info);
+  *out = Comm(r.find_context(info.ctx_id), info.side, me.pid);
+  return finish(local, kSuccess);
+}
+
 int comm_free(Comm* c) {
   if (c == nullptr) return kErrArg;
   FTR_PSAN_FREE(*c);

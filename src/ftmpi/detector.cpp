@@ -278,6 +278,10 @@ std::vector<ProcId> detector_known_failed() {
 
 std::vector<detector::Record> detector_records() { return detail::self().det.records; }
 
+void detector_note_failed(ProcId dead) {
+  detector::note_transport_failure(detail::self(), dead);
+}
+
 bool detector_knows_failure_in(const Comm& c) {
   ProcessState& ps = detail::self();
   if (!detector::enabled(ps) || c.is_null()) return false;

@@ -160,6 +160,13 @@ void note_transport_failure(ProcessState& ps, ProcId dead);
 [[nodiscard]] std::vector<ProcId> detector_known_failed();
 /// The calling rank's learn log (pid, virtual learn time, source).
 [[nodiscard]] std::vector<detector::Record> detector_records();
+/// Fold an application-level failure confirmation (e.g. a shrink's
+/// failed-procs list) into the calling rank's detector knowledge, bumping
+/// its epoch and gossiping if the failure is news.  No-op when the detector
+/// is off.  Overlapped recovery uses this so doorbell wires always carry a
+/// post-failure epoch even when the detector has not yet timed out the dead
+/// peer on its own.
+void detector_note_failed(ProcId dead);
 /// True when the calling rank knows of a dead member of c's group without
 /// touching the dead peer — the trigger for proactive recovery.
 class Comm;

@@ -57,6 +57,12 @@ struct Shadow {
   OpRec revoke_event;
   bool freed = false;
   OpRec free_event;
+  // Overlapped recovery: set once this rank acks the repaired-world doorbell
+  // (on_handoff).  Collectives on a superseded context abort; drains and
+  // frees of the stale handles stay legitimate.
+  bool superseded = false;
+  OpRec handoff_event;
+  std::uint64_t handoff_epoch = 0;
   std::uint64_t hash = kFnvOffset;
   std::uint64_t count = 0;  ///< collectives recorded since the last reset
   OpRec ring[kRing];
@@ -73,6 +79,15 @@ struct Shadow {
 using Key = std::tuple<const void*, ProcId, std::uint64_t>;
 std::mutex g_mu;
 std::map<Key, Shadow> g_shadow;
+
+/// Per-rank overlap attempt: the side context the split handed this rank
+/// (continuation sub-communicator or repair comm) and the doorbell epoch it
+/// was armed under.  Consumed — and the context superseded — at on_handoff.
+struct OverlapRec {
+  std::uint64_t side_ctx = 0;
+  std::uint64_t epoch = 0;
+};
+std::map<std::pair<const void*, ProcId>, OverlapRec> g_overlap;
 
 void record(Shadow& s, const OpRec& rec) {
   if (s.ring_len < kRing) {
@@ -121,6 +136,25 @@ void check_life(const Shadow& s, ProcId pid, std::uint64_t ctx, const char* op,
   die();
 }
 
+/// Collective-only gate: a rank that acked the repaired-world doorbell must
+/// run its collectives on the repaired world.  Enforced from on_collective
+/// rather than check_life because point-to-point drains of the stale
+/// handles (and their frees) remain sanctioned after the handoff.
+void check_handoff(const Shadow& s, ProcId pid, std::uint64_t ctx, const char* op,
+                   const char* file, int line) {
+  if (!s.superseded) return;
+  std::fprintf(stderr,
+               "ftmpi-psan: use-after-handoff: %s on pre-handoff comm ctx %" PRIu64
+               " by pid %d (%s:%d)\n"
+               "ftmpi-psan:   this rank acked the repaired-world doorbell at %s:%d "
+               "(repair epoch %" PRIu64 "); collectives must run on the repaired "
+               "world — only buffered drains and frees of the superseded handles "
+               "remain legitimate\n",
+               op, ctx, pid, file, line, s.handoff_event.file, s.handoff_event.line,
+               s.handoff_epoch);
+  die();
+}
+
 }  // namespace
 
 void on_use(const Comm& c, const char* op, const char* file, int line) {
@@ -139,6 +173,7 @@ void on_collective(const Comm& c, const char* op, int root, const char* file, in
   std::lock_guard<std::mutex> lock(g_mu);
   Shadow& s = g_shadow[{ps->rt, ps->pid, ctx}];
   check_life(s, ps->pid, ctx, op, file, line);
+  check_handoff(s, ps->pid, ctx, op, file, line);
   s.hash = fnv_bytes(s.hash, op, std::strlen(op) + 1);
   s.hash = fnv_bytes(s.hash, &root, sizeof(root));
   ++s.count;
@@ -236,6 +271,41 @@ void verify_at_agree(const Comm& c, const Group& g, const std::vector<AgreeRepor
   die();
 }
 
+void on_overlap_split(const Comm& side, std::uint64_t epoch, const char* file, int line) {
+  ProcessState* ps = Runtime::current();
+  if (ps == nullptr || side.is_null()) return;
+  const std::uint64_t ctx = side.context()->id;
+  std::lock_guard<std::mutex> lock(g_mu);
+  // Latest attempt wins: an aborted overlap leaves a stale record behind,
+  // and the next split simply replaces it (the stale side context is dead by
+  // then, so superseding it at a later handoff is harmless).
+  g_overlap[{ps->rt, ps->pid}] = OverlapRec{ctx, epoch};
+  Shadow& s = g_shadow[{ps->rt, ps->pid, ctx}];
+  record(s, OpRec{"overlap_split", file, line, -1, s.count});
+}
+
+void on_handoff(const Comm& old_world, std::uint64_t epoch, const char* file, int line) {
+  ProcessState* ps = Runtime::current();
+  if (ps == nullptr || old_world.is_null()) return;
+  const std::uint64_t ctx = old_world.context()->id;
+  std::lock_guard<std::mutex> lock(g_mu);
+  Shadow& s = g_shadow[{ps->rt, ps->pid, ctx}];
+  s.superseded = true;
+  s.handoff_epoch = epoch;
+  s.handoff_event = OpRec{"overlap_handoff", file, line, -1, s.count};
+  const auto it = g_overlap.find({ps->rt, ps->pid});
+  if (it != g_overlap.end()) {
+    // The side comm of the acked attempt dies with the old world: the
+    // continuation sub-communicator (or repair comm) is a partial-world
+    // layout nobody owns after the epoch bump.
+    Shadow& side = g_shadow[{ps->rt, ps->pid, it->second.side_ctx}];
+    side.superseded = true;
+    side.handoff_epoch = epoch;
+    side.handoff_event = OpRec{"overlap_handoff", file, line, -1, side.count};
+    g_overlap.erase(it);
+  }
+}
+
 void on_runtime_destroyed(const void* rt) {
   std::lock_guard<std::mutex> lock(g_mu);
   // Keys sort by runtime first, so the doomed range is contiguous.
@@ -243,6 +313,13 @@ void on_runtime_destroyed(const void* rt) {
   auto hi = lo;
   while (hi != g_shadow.end() && std::get<0>(hi->first) == rt) ++hi;
   g_shadow.erase(lo, hi);
+  for (auto it = g_overlap.begin(); it != g_overlap.end();) {
+    if (it->first.first == rt) {
+      it = g_overlap.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace ftmpi::psan

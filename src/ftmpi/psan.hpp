@@ -104,6 +104,21 @@ std::uint64_t current_epoch();
 void verify_at_agree(const Comm& c, const Group& g, const std::vector<AgreeReport>& reports,
                      bool no_dead);
 
+/// Record the side communicator the overlapped-recovery split handed this
+/// rank (the continuation sub-communicator, or the repair group's comm) and
+/// the doorbell epoch the attempt was armed under.  The recorded context is
+/// superseded together with the pre-handoff world once on_handoff fires.
+void on_overlap_split(const Comm& side, std::uint64_t epoch, const char* file, int line);
+
+/// The calling rank acked the repaired-world doorbell: mark the pre-handoff
+/// world `old_world` (and the side context recorded by on_overlap_split, if
+/// any) superseded under `epoch`.  Any later *collective* on a superseded
+/// context aborts with a pinned use-after-handoff diagnostic; point-to-point
+/// drains and frees stay allowed — dropping the old handles after the
+/// handoff is the documented idiom, issuing collectives on them is the bug
+/// (half the job lands on a world nobody else is in any more).
+void on_handoff(const Comm& old_world, std::uint64_t epoch, const char* file, int line);
+
 /// Drop every shadow entry belonging to `rt`.  Called from ~Runtime: pids
 /// and context ids both restart per Runtime instance (and stack-allocated
 /// Runtimes can reuse the same address), so stale entries would otherwise
@@ -118,6 +133,10 @@ void on_runtime_destroyed(const void* rt);
 #define FTR_PSAN_SELF_REVOKE(c, op) \
   ::ftmpi::psan::on_revoke_observed((c), (op), true, __FILE__, __LINE__)
 #define FTR_PSAN_FREE(c) ::ftmpi::psan::on_free((c), __FILE__, __LINE__)
+#define FTR_PSAN_OVERLAP_SPLIT(c, epoch) \
+  ::ftmpi::psan::on_overlap_split((c), (epoch), __FILE__, __LINE__)
+#define FTR_PSAN_HANDOFF(oldc, epoch) \
+  ::ftmpi::psan::on_handoff((oldc), (epoch), __FILE__, __LINE__)
 #define FTR_PSAN_RUNTIME_DESTROYED(rt) ::ftmpi::psan::on_runtime_destroyed((rt))
 
 #else
@@ -127,6 +146,8 @@ void on_runtime_destroyed(const void* rt);
 #define FTR_PSAN_REVOKE_OBSERVED(c, op) ((void)0)
 #define FTR_PSAN_SELF_REVOKE(c, op) ((void)0)
 #define FTR_PSAN_FREE(c) ((void)0)
+#define FTR_PSAN_OVERLAP_SPLIT(c, epoch) ((void)0)
+#define FTR_PSAN_HANDOFF(oldc, epoch) ((void)0)
 #define FTR_PSAN_RUNTIME_DESTROYED(rt) ((void)0)
 
 #endif  // FTR_PSAN

@@ -69,6 +69,11 @@ inline constexpr int kAgreeTreeUp = kReservedTagBound - 21;
 inline constexpr int kAgreeTreeDown = kReservedTagBound - 22;
 inline constexpr int kCollTreeUp = kReservedTagBound - 23;
 inline constexpr int kCollTreeDown = kReservedTagBound - 24;
+// Intercommunicator construction over a bridge communicator
+// (MPI_Intercomm_create) and the overlapped-recovery doorbell handoff.
+inline constexpr int kInterCreateCross = kReservedTagBound - 25;
+inline constexpr int kInterCreateInfo = kReservedTagBound - 26;
+inline constexpr int kDoorbell = kReservedTagBound - 27;
 }  // namespace tags
 
 /// Version counter of a process's local failure knowledge.  Every detector

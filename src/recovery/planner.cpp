@@ -43,9 +43,13 @@ RecoveryPlan plan_recovery(const std::vector<ftr::comb::GridSlot>& slots,
   std::set<int> lost_set(already_lost.begin(), already_lost.end());
   for (const GridFacts& f : facts) lost_set.insert(f.id);
 
+  // Overlap plans run on the partial repaired world: RC partners live on
+  // the continuation side and are unreachable, so only the staged buddy
+  // replicas and the (shared) disk store are on the menu.
   const bool allow_rc = mode == PlannerMode::Lattice || mode == PlannerMode::ForceRc;
-  const bool allow_buddy = mode == PlannerMode::Lattice;
-  const bool allow_disk = mode == PlannerMode::Lattice || mode == PlannerMode::ForceCr;
+  const bool allow_buddy = mode == PlannerMode::Lattice || mode == PlannerMode::Overlap;
+  const bool allow_disk = mode == PlannerMode::Lattice || mode == PlannerMode::ForceCr ||
+                          mode == PlannerMode::Overlap;
 
   RecoveryPlan plan;
   std::vector<size_t> gcp_entries;  // indices into plan.entries

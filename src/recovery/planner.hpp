@@ -41,8 +41,12 @@ const char* action_name(RecoveryAction a);
 
 /// Which rungs of the lattice a plan may use.  Lattice = all of them;
 /// the Force* modes reproduce the paper's single-technique behaviour
-/// (with GCP/idle as the degrade path instead of a crash).
-enum class PlannerMode { Lattice, ForceCr, ForceRc, ForceAc };
+/// (with GCP/idle as the degrade path instead of a crash).  Overlap is the
+/// background-repair restriction: the repair group restores its grids on
+/// the partial repaired world, where the RC partners (continuation grids)
+/// are unreachable — only the staged buddy replicas and the disk store are
+/// local to the repair side, so the lattice shrinks to Buddy -> Disk.
+enum class PlannerMode { Lattice, ForceCr, ForceRc, ForceAc, Overlap };
 
 /// Per-lost-grid facts the planner decides from.
 struct GridFacts {

@@ -2,7 +2,8 @@
 //
 // The sanitizer is the dynamic cross-check for ftlint's FTL005/FTL006: a
 // rank that keeps using a communicator after *observing* its revocation, a
-// double-free, or a collective call sequence that diverges between ranks
+// double-free, a collective call sequence that diverges between ranks, or a
+// collective on a world superseded by the overlapped-recovery handoff
 // must abort the run with a "ftmpi-psan:" diagnostic naming the call sites.
 // The positive tests pin that the sanctioned salvage idioms and the normal
 // collective protocol stay silent; the death tests seed each violation
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "ftmpi/api.hpp"
+#include "ftmpi/psan.hpp"
 #include "ftmpi/runtime.hpp"
 
 #ifndef FTR_PSAN
@@ -107,6 +109,47 @@ TEST(Psan, SalvageAfterRevokeIsAllowed) {
   EXPECT_EQ(drained.load(), 1);
 }
 
+TEST(Psan, DrainAndDropOfSupersededWorldStaySilent) {
+  // Overlapped recovery's handoff idiom: once a rank acks the repaired-world
+  // doorbell, the pre-handoff world and the continuation sub-communicator
+  // are dead weight — draining buffered messages off them and freeing the
+  // handles must stay silent; only collectives are use-after-handoff.  The
+  // hooks are driven directly: this test pins the sanctioned residue of a
+  // handoff without standing up the whole overlap protocol.
+  Runtime rt(small_opts());
+  std::atomic<int> failures{0};
+  std::atomic<int> drained{0};
+  rt.register_app("main", [&](const std::vector<std::string>&) {
+    Comm& w = world();
+    auto check = [&](int rc) {
+      if (rc != kSuccess) ++failures;
+    };
+    if (w.rank() == 1) {
+      const double payload = 4.5;
+      check(send(&payload, 1, 0, 9, w));
+    }
+    check(barrier(w));  // orders the eager send before the handoff
+    Comm side;
+    check(comm_split(w, 0, w.rank(), &side));
+    psan::on_overlap_split(side, /*epoch=*/7, __FILE__, __LINE__);
+    psan::on_handoff(w, /*epoch=*/7, __FILE__, __LINE__);
+    if (w.rank() == 0) {
+      int have = 0;
+      Status st;
+      check(iprobe_buffered(kAnySource, 9, w, &have, &st));
+      if (have != 0) {
+        double got = 0.0;
+        check(recv_buffered(&got, sizeof(got), st.source, 9, w, &st));
+        if (got == 4.5) ++drained;
+      }
+    }
+    check(comm_free(&side));
+  });
+  EXPECT_EQ(rt.run("main", 2), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(drained.load(), 1);
+}
+
 using PsanDeath = ::testing::Test;
 
 TEST(PsanDeath, UseAfterObservedRevokeAborts) {
@@ -143,6 +186,47 @@ TEST(PsanDeath, DoubleFreeAborts) {
         rt.run("main", 1);
       },
       "ftmpi-psan: double-free");
+}
+
+TEST(PsanDeath, CollectiveOnPreHandoffWorldAborts) {
+  // A rank that acked the repaired-world doorbell but keeps running
+  // collectives on the pre-handoff world has half the job on a layout
+  // nobody else is in any more; the sanitizer must abort it at the first
+  // such collective with the handoff site and doorbell epoch pinned.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_opts());
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          psan::on_handoff(w, /*epoch=*/3, __FILE__, __LINE__);
+          (void)barrier(w);  // straggler collective: must abort
+        });
+        rt.run("main", 2);
+      },
+      "ftmpi-psan: use-after-handoff");
+}
+
+TEST(PsanDeath, CollectiveOnSupersededContinuationCommAborts) {
+  // The continuation sub-communicator recorded at the overlap split dies
+  // with the pre-handoff world: a collective on it after the handoff is the
+  // same violation class, caught through the split-time tracking rather
+  // than the world handle passed to on_handoff.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_opts());
+        rt.register_app("main", [&](const std::vector<std::string>&) {
+          Comm& w = world();
+          Comm side;
+          (void)comm_split(w, 0, w.rank(), &side);
+          psan::on_overlap_split(side, /*epoch=*/5, __FILE__, __LINE__);
+          psan::on_handoff(w, /*epoch=*/5, __FILE__, __LINE__);
+          (void)barrier(side);  // superseded with the world: must abort
+        });
+        rt.run("main", 2);
+      },
+      "ftmpi-psan: use-after-handoff");
 }
 
 TEST(PsanDeath, DivergentCollectiveSequenceAbortsAtAgree) {

@@ -42,6 +42,12 @@ def load_raw(path):
             entry["items_per_second"] = b["items_per_second"]
         if "bytes_per_second" in b:
             entry["bytes_per_second"] = b["bytes_per_second"]
+        # bench_overlap publishes the overlapped-recovery headline metric as
+        # a bare counter: per-world rows carry only this (too interleaving-
+        # dependent to gate individually), while the mean rows also carry
+        # items_per_second = 1/(1+steps_lost) for the regression gate.
+        if "steps_lost_per_failure" in b:
+            entry["steps_lost_per_failure"] = b["steps_lost_per_failure"]
         time = b.get("real_time")
         if time is not None:
             unit = b.get("time_unit", "ns")

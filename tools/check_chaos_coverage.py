@@ -31,7 +31,17 @@ _LABEL_RE = re.compile(r'chaos_point\(\s*"([^"]+)"\s*\)')
 
 # Labels that must be fired somewhere under src/ (and hence, via the orphan
 # check below, also covered by tests/).
-REQUIRED_LABELS = ("detector.heartbeat", "detector.gossip", "agree.tree")
+REQUIRED_LABELS = (
+    "detector.heartbeat",
+    "detector.gossip",
+    "agree.tree",
+    # Overlapped-recovery protocol boundaries (async_repair / ft_app): the
+    # continuation/repair split, the repaired-world doorbell, and the
+    # epoch-validated handoff that swaps everyone onto the repaired world.
+    "repair.split",
+    "repair.doorbell",
+    "repair.handoff",
+)
 
 
 def cxx_files(root):

@@ -45,8 +45,11 @@ _ALLOC_STD = {"make_unique", "make_shared"}
 # FTL007: failure-detector wire formats.  A function that unpacks one of
 # these from a message payload consumes detector traffic and must validate
 # the carried detector epoch with an *observed* epoch_ok() call — stale
-# heartbeats/gossip must be discarded, never acted on.
-_FTL007_WIRES = ("HeartbeatWire", "GossipWire")
+# heartbeats/gossip must be discarded, never acted on.  DoorbellWire is the
+# overlapped-recovery announcement: a doorbell from an aborted earlier
+# attempt (wrong repair epoch) or from before the attempt was armed (stale
+# detector epoch) must die at validation, never trigger a handoff.
+_FTL007_WIRES = ("HeartbeatWire", "GossipWire", "DoorbellWire")
 
 # FTL004: protocol families that chaos injection must be able to reach, and
 # the function definitions that implement them.
